@@ -1,0 +1,74 @@
+// Extra (beyond the paper's figures): the classic super-linear-work PRAM
+// algorithms the paper's introduction surveys — Shiloach-Vishkin,
+// Awerbuch-Shiloach, random-mate (Reif/Phillips), label propagation —
+// against the linear-work decomposition CC and the sequential baseline.
+//
+// Shape expectation: the classics revisit every edge each round, so their
+// time per edge grows with the number of rounds (log n for SV/AS/random-
+// mate, diameter for label propagation); decomp-arb-hybrid-CC's per-edge
+// cost stays flat. label-prop is skipped on `line` (diameter-many rounds).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcc;
+  using namespace pcc::bench;
+
+  print_header("Classic O(m log n)-work PRAM algorithms vs linear-work CC");
+
+  const size_t base = scaled(50000);
+  std::vector<named_graph> suite;
+  suite.push_back({"random", graph::random_graph(base, 5, 71)});
+  suite.push_back({"rMat", graph::rmat_graph(base, 5 * base, 72,
+                                             {.a = 0.5, .b = 0.1, .c = 0.1})});
+  suite.push_back({"3D-grid", graph::grid3d_graph(base, true, 73)});
+  suite.push_back({"line", graph::line_graph(base, false)});
+
+  struct impl {
+    std::string name;
+    std::function<std::vector<vertex_id>(const graph::graph&)> run;
+    bool skip_line;
+  };
+  const std::vector<impl> impls = {
+      {"serial-SF", &baselines::serial_sf_components, false},
+      {"decomp-arb-hybrid-CC",
+       [](const graph::graph& g) {
+         cc::cc_options opt;
+         return cc::connected_components(g, opt);
+       },
+       false},
+      {"shiloach-vishkin", &baselines::shiloach_vishkin_components, false},
+      {"awerbuch-shiloach", &baselines::awerbuch_shiloach_components, false},
+      {"random-mate",
+       [](const graph::graph& g) { return baselines::random_mate_components(g); },
+       false},
+      {"label-prop", &baselines::label_prop_components, true},
+  };
+
+  std::printf("\n%-22s", "Implementation");
+  for (const auto& [name, g] : suite) std::printf(" %12s", name.c_str());
+  std::printf("   (seconds)\n");
+  for (const auto& im : impls) {
+    std::printf("%-22s", im.name.c_str());
+    for (const auto& [gname, g] : suite) {
+      if (im.skip_line && gname == "line") {
+        std::printf(" %12s", "(skipped)");
+        continue;
+      }
+      std::vector<vertex_id> labels;
+      const double t = median_time([&] { labels = im.run(g); });
+      if (!baselines::labels_equivalent(
+              labels, baselines::serial_sf_components(g))) {
+        std::fprintf(stderr, "BUG: %s wrong on %s\n", im.name.c_str(),
+                     gname.c_str());
+        return 1;
+      }
+      std::printf(" %12.4f", t);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nAll labelings verified against serial-SF.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Shared infrastructure for the table/figure benchmark harnesses.
+//
+// Scaling: the paper's graphs have 1e8-5e8 edges and ran on a 40-core
+// 256 GB machine. The harnesses default to ~1e6-edge instances so the whole
+// suite finishes in minutes on a laptop; set PCC_SCALE (a float multiplier,
+// default 1.0) to grow or shrink every input, and PCC_TRIALS to change the
+// median-of-k trial count (default 3, as in the paper).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pcc.hpp"
+
+namespace pcc::bench {
+
+inline double scale_factor() {
+  const char* s = std::getenv("PCC_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline int num_trials() {
+  const char* s = std::getenv("PCC_TRIALS");
+  if (s == nullptr) return 3;
+  const int v = std::atoi(s);
+  return v > 0 ? v : 3;
+}
+
+inline size_t scaled(size_t base) {
+  return std::max<size_t>(16, static_cast<size_t>(base * scale_factor()));
+}
+
+// The paper's six inputs (Table 1), at bench scale. `line` keeps its
+// defining property (diameter = n - 1); rMat2 and com-Orkut keep their
+// edge-to-vertex ratios (~400 and ~38).
+struct named_graph {
+  std::string name;
+  graph::graph g;
+};
+
+inline std::vector<named_graph> paper_graph_suite() {
+  const size_t base = scaled(100000);
+  std::vector<named_graph> suite;
+  suite.push_back({"random", graph::random_graph(base, 5, 101)});
+  suite.push_back({"rMat", graph::rmat_graph(base, 5 * base, 102,
+                                             {.a = 0.5, .b = 0.1, .c = 0.1})});
+  suite.push_back(
+      {"rMat2", graph::rmat_graph(std::max<size_t>(base / 25, 64),
+                                  400 * std::max<size_t>(base / 25, 64), 103,
+                                  {.a = 0.5, .b = 0.1, .c = 0.1})});
+  suite.push_back({"3D-grid", graph::grid3d_graph(base, true, 104)});
+  suite.push_back({"line", graph::line_graph(5 * base, false)});
+  suite.push_back(
+      {"com-Orkut-sim", graph::social_network_like(std::max<size_t>(base / 6, 64), 105)});
+  return suite;
+}
+
+// Median-of-k wall-clock time of fn() in seconds (the paper reports the
+// median of three trials).
+inline double median_time(const std::function<void()>& fn,
+                          int trials_override = 0) {
+  const int trials = trials_override > 0 ? trials_override : num_trials();
+  std::vector<double> times(trials);
+  for (int t = 0; t < trials; ++t) {
+    parallel::timer timer;
+    fn();
+    times[t] = timer.elapsed();
+  }
+  std::sort(times.begin(), times.end());
+  return times[trials / 2];
+}
+
+// All connectivity implementations, ours and baselines, keyed by the names
+// used in Table 2 of the paper.
+struct cc_impl {
+  std::string name;
+  bool parallel;  // false for serial-SF (no parallel column)
+  std::function<std::vector<vertex_id>(const graph::graph&)> run;
+};
+
+inline std::vector<cc_impl> table2_implementations() {
+  const auto decomp = [](cc::decomp_variant v) {
+    return [v](const graph::graph& g) {
+      cc::cc_options opt;
+      opt.variant = v;
+      opt.beta = 0.2;
+      return cc::connected_components(g, opt);
+    };
+  };
+  return {
+      {"serial-SF", false, &baselines::serial_sf_components},
+      {"decomp-arb-CC", true, decomp(cc::decomp_variant::kArb)},
+      {"decomp-arb-hybrid-CC", true, decomp(cc::decomp_variant::kArbHybrid)},
+      {"decomp-min-CC", true, decomp(cc::decomp_variant::kMin)},
+      {"parallel-SF-PBBS", true, &baselines::parallel_sf_pbbs_components},
+      {"parallel-SF-PRM", true, &baselines::parallel_sf_prm_components},
+      {"hybrid-BFS-CC", true, &baselines::hybrid_bfs_components},
+      {"multistep-CC", true, &baselines::multistep_components},
+  };
+}
+
+// Run fn with the given OpenMP worker count.
+inline double timed_with_threads(int threads,
+                                 const std::function<void()>& fn) {
+  parallel::scoped_workers guard(threads);
+  return median_time(fn);
+}
+
+// Honour PCC_THREADS (overrides the OpenMP default worker count).
+inline void apply_thread_env() {
+  const char* s = std::getenv("PCC_THREADS");
+  if (s != nullptr) {
+    const int t = std::atoi(s);
+    if (t > 0) parallel::set_num_workers(t);
+  }
+}
+
+inline void print_header(const std::string& title) {
+  apply_thread_env();
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(PCC_SCALE=%.3g, trials=%d, hardware threads=%d)\n",
+              scale_factor(), num_trials(), parallel::num_workers());
+  std::printf("================================================================\n");
+}
+
+}  // namespace pcc::bench

@@ -1,0 +1,57 @@
+// Figure 2 of the paper: running time versus number of threads for every
+// implementation on every input. The paper sweeps 2..40 cores plus
+// hyper-threading; this harness sweeps 1..max(4, hardware threads) in
+// powers of two (oversubscription beyond the physical core count still
+// exercises the harness; self-relative speedup is only meaningful on a
+// multicore host).
+//
+// As in the paper, hybrid-BFS-CC and multistep-CC are skipped on `line`
+// (they get no speedup there and dominate the runtime).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcc;
+  using namespace pcc::bench;
+
+  print_header("Figure 2: running time (seconds) vs number of threads");
+
+  const int hw = parallel::num_workers();
+  std::vector<int> threads;
+  for (int t = 1; t <= std::max(4, hw); t *= 2) threads.push_back(t);
+
+  auto suite = paper_graph_suite();
+  const auto impls = table2_implementations();
+
+  for (const auto& [gname, g] : suite) {
+    std::printf("\n--- %s (n=%zu, m=%zu) ---\n", gname.c_str(),
+                g.num_vertices(), g.num_undirected_edges());
+    std::printf("%-22s", "threads:");
+    for (int t : threads) std::printf(" %9d", t);
+    std::printf("\n");
+    for (const auto& impl : impls) {
+      const bool skip = gname == "line" &&
+                        (impl.name == "hybrid-BFS-CC" ||
+                         impl.name == "multistep-CC");
+      std::printf("%-22s", impl.name.c_str());
+      if (skip) {
+        std::printf("  (omitted on line, as in the paper)\n");
+        continue;
+      }
+      if (!impl.parallel) {
+        // serial-SF: one number, repeated as the flat reference line.
+        const double t1 = timed_with_threads(1, [&] { (void)impl.run(g); });
+        for (size_t i = 0; i < threads.size(); ++i) std::printf(" %9.4f", t1);
+        std::printf("\n");
+        continue;
+      }
+      for (int t : threads) {
+        std::printf(" %9.4f", timed_with_threads(t, [&] { (void)impl.run(g); }));
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 4 of the paper: number of remaining edges per iteration (recursion
+// level) of decomp-arb-hybrid-CC as a function of beta, on random, rMat,
+// 3D-grid and line.
+//
+// Shape expectations: smaller beta drops edges faster (fewer levels); on
+// every graph except line, duplicate-edge removal makes the decay far
+// steeper than the 2*beta upper bound (up to an order of magnitude); on
+// line there are no duplicate edges, so the decay tracks ~2*beta per level.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcc;
+  using namespace pcc::bench;
+
+  print_header(
+      "Figure 4: remaining undirected edges per iteration vs beta "
+      "(decomp-arb-hybrid-CC)");
+
+  const size_t base = scaled(50000);
+  std::vector<named_graph> suite;
+  suite.push_back({"random", graph::random_graph(base, 5, 41)});
+  suite.push_back({"rMat", graph::rmat_graph(base, 5 * base, 42,
+                                             {.a = 0.5, .b = 0.1, .c = 0.1})});
+  suite.push_back({"3D-grid", graph::grid3d_graph(base, true, 43)});
+  suite.push_back({"line", graph::line_graph(2 * base, false)});
+
+  const std::vector<double> default_betas = {0.1, 0.2, 0.3, 0.4, 0.5};
+  // The paper plots much smaller betas for line (its edge count shrinks
+  // slowly otherwise).
+  const std::vector<double> line_betas = {0.003, 0.008, 0.02, 0.04,
+                                          0.06,  0.08,  0.1,  0.2};
+
+  for (const auto& [gname, g] : suite) {
+    const auto& betas = gname == "line" ? line_betas : default_betas;
+    std::printf("\n--- %s (n=%zu, m0=%zu undirected) ---\n", gname.c_str(),
+                g.num_vertices(), g.num_undirected_edges());
+    std::printf("%-8s %s\n", "beta",
+                "remaining edges after each iteration (iteration 0 = input)");
+    for (double beta : betas) {
+      cc::cc_options opt;
+      opt.variant = cc::decomp_variant::kArbHybrid;
+      opt.beta = beta;
+      cc::cc_stats stats;
+      (void)cc::connected_components(g, opt, &stats);
+      std::printf("%-8.3f %10zu", beta, g.num_undirected_edges());
+      for (const auto& level : stats.levels) {
+        std::printf(" %10zu", level.edges_after_dedup / 2);
+      }
+      std::printf("\n");
+
+      // Compare the actual per-level reduction with the 2*beta bound.
+      if (!stats.levels.empty() && stats.levels[0].m > 0) {
+        const double measured = static_cast<double>(
+                                    stats.levels[0].edges_after_dedup) /
+                                static_cast<double>(stats.levels[0].m);
+        std::printf("         (level-0 reduction: kept %.4f of edges; "
+                    "2*beta bound = %.4f)\n",
+                    measured, 2 * beta);
+      }
+    }
+  }
+  return 0;
+}

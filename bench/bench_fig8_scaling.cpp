@@ -1,0 +1,54 @@
+// Figure 8 of the paper: running time of decomp-arb-hybrid-CC versus
+// problem size for random graphs with m = 5n.
+//
+// Shape expectation: near-linear growth (the algorithm is linear-work).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcc;
+  using namespace pcc::bench;
+
+  print_header(
+      "Figure 8: decomp-arb-hybrid-CC time vs problem size (random, m = 5n)");
+
+  // Geometric sweep, mirroring the paper's m = 5e7..5e8 range at bench
+  // scale.
+  const size_t m_max = scaled(1000000);
+  std::vector<size_t> sizes;
+  for (size_t m = m_max / 10; m <= m_max; m += m_max / 10) sizes.push_back(m);
+
+  std::printf("%14s %14s %12s %16s\n", "num edges (m)", "num vertices",
+              "time (s)", "time / m (ns)");
+  double t_first = 0;
+  size_t m_first = 0;
+  double t_last = 0;
+  size_t m_last = 0;
+  for (size_t m : sizes) {
+    const size_t n = std::max<size_t>(m / 5, 16);
+    const graph::graph g = graph::random_graph(n, 5, 81 + m);
+    cc::cc_options opt;
+    opt.variant = cc::decomp_variant::kArbHybrid;
+    const double t =
+        median_time([&] { (void)cc::connected_components(g, opt); });
+    std::printf("%14zu %14zu %12.4f %16.2f\n", g.num_undirected_edges(), n, t,
+                1e9 * t / static_cast<double>(g.num_undirected_edges()));
+    if (m_first == 0) {
+      m_first = g.num_undirected_edges();
+      t_first = t;
+    }
+    m_last = g.num_undirected_edges();
+    t_last = t;
+  }
+  if (t_first > 0) {
+    const double size_ratio =
+        static_cast<double>(m_last) / static_cast<double>(m_first);
+    const double time_ratio = t_last / t_first;
+    std::printf("\nsize grew %.1fx, time grew %.1fx (linear-work shape: the "
+                "two ratios should be close)\n",
+                size_ratio, time_ratio);
+  }
+  return 0;
+}

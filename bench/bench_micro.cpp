@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks of the parallel primitives the
+// connectivity pipeline is built from: scan, pack, radix sort, random
+// permutation, hash-set dedup, BFS, and single decomposition calls.
+
+#include <benchmark/benchmark.h>
+
+#include "pcc.hpp"
+
+namespace {
+
+using namespace pcc;
+
+void BM_ScanExclusive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> data(n, 3);
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::scan_exclusive_into(
+        n, [&](size_t i) { return data[i]; }, out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_ScanExclusive)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_PackIndex(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        parallel::pack_index<uint32_t>(n, [](size_t i) { return i % 3 == 0; }));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_PackIndex)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_IntegerSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  parallel::rng gen(1);
+  std::vector<uint64_t> base(n);
+  for (size_t i = 0; i < n; ++i) base[i] = gen[i] & 0xFFFFFFFFull;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> v = base;
+    state.ResumeTiming();
+    parallel::integer_sort_keys(v, 32);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_IntegerSort)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 20);
+
+void BM_RandomPermutation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::random_permutation(n, ++seed));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_RandomPermutation)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HashSetDedup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  parallel::rng gen(2);
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = gen[i % (n / 4 + 1)] | 1;  // ~4x dups
+  for (auto _ : state) {
+    parallel::hash_set64 set(n);
+    parallel::parallel_for(0, n, [&](size_t i) { set.insert(keys[i]); });
+    benchmark::DoNotOptimize(set.elements());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_HashSetDedup)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ParallelBfs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const graph::graph g = graph::random_graph(n, 5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::parallel_bfs_distances(g, 0));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * g.num_edges()));
+}
+BENCHMARK(BM_ParallelBfs)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_DecompArbSingleCall(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const graph::graph g = graph::random_graph(n, 5, 4);
+  ldd::options opt;
+  opt.beta = 0.2;
+  for (auto _ : state) {
+    ldd::work_graph wg = ldd::work_graph::from(g);
+    benchmark::DoNotOptimize(ldd::decomp_arb(wg, opt, nullptr));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * g.num_edges()));
+}
+BENCHMARK(BM_DecompArbSingleCall)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_ConnectedComponentsEndToEnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const graph::graph g = graph::random_graph(n, 5, 5);
+  cc::cc_options opt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cc::connected_components(g, opt));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * g.num_edges()));
+}
+BENCHMARK(BM_ConnectedComponentsEndToEnd)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_SampleSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  parallel::rng gen(6);
+  std::vector<uint64_t> base(n);
+  for (size_t i = 0; i < n; ++i) base[i] = gen[i];
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> v = base;
+    state.ResumeTiming();
+    parallel::sample_sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SampleSort)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_Histogram(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  parallel::rng gen(7);
+  std::vector<uint32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = static_cast<uint32_t>(gen[i] % 4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        parallel::histogram(n, 4096, [&](size_t i) { return keys[i]; }));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_Histogram)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SpanningForest(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const graph::graph g = graph::random_graph(n, 5, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cc::spanning_forest(g));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * g.num_edges()));
+}
+BENCHMARK(BM_SpanningForest)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

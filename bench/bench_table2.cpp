@@ -1,0 +1,68 @@
+// Table 2 of the paper: connected-components labeling times for the eight
+// implementations on the six inputs, single-threaded and with all hardware
+// threads. Also prints Table 1 (the input sizes) as a preamble.
+//
+// Shape expectations (EXPERIMENTS.md records the measured values):
+//   - decomp-arb-CC and decomp-arb-hybrid-CC beat decomp-min-CC;
+//   - hybrid-BFS-CC / multistep-CC win on dense low-diameter inputs
+//     (random, rMat2, com-Orkut) and lose on line / many-component rMat;
+//   - the decomposition CCs are competitive everywhere (no worst case).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcc;
+  using namespace pcc::bench;
+
+  print_header("Table 2: connected components labeling times (seconds)");
+
+  auto suite = paper_graph_suite();
+
+  std::printf("\nTable 1: input graphs (directed edge counts; undirected = half)\n");
+  std::printf("%-16s %14s %14s\n", "Input", "Num. Vertices", "Num. Edges");
+  for (const auto& [name, g] : suite) {
+    std::printf("%-16s %14zu %14zu\n", name.c_str(), g.num_vertices(),
+                g.num_undirected_edges());
+  }
+
+  const auto impls = table2_implementations();
+  const int max_threads = parallel::num_workers();
+
+  std::printf("\n%-22s", "Implementation");
+  for (const auto& [name, g] : suite) {
+    std::printf(" %10s(1) %9s(P)", name.c_str(), "");
+  }
+  std::printf("\n");
+
+  for (const auto& impl : impls) {
+    std::printf("%-22s", impl.name.c_str());
+    for (const auto& [gname, g] : suite) {
+      std::vector<vertex_id> labels;
+      const double t1 = timed_with_threads(1, [&] { labels = impl.run(g); });
+      // Sanity: every implementation must produce the right partition.
+      if (!baselines::labels_equivalent(labels,
+                                        baselines::serial_sf_components(g))) {
+        std::fprintf(stderr, "BUG: %s wrong on %s\n", impl.name.c_str(),
+                     gname.c_str());
+        return 1;
+      }
+      double tp = t1;
+      if (impl.parallel && max_threads > 1) {
+        tp = timed_with_threads(max_threads, [&] { (void)impl.run(g); });
+      }
+      if (impl.parallel) {
+        std::printf(" %12.4f %12.4f", t1, tp);
+      } else {
+        std::printf(" %12.4f %12s", t1, "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncolumns: (1) = single thread, (P) = all hardware threads.\n");
+  std::printf("Every labeling was verified against serial-SF before timing "
+              "was reported.\n");
+  return 0;
+}

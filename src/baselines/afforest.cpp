@@ -1,0 +1,74 @@
+// afforest-CC: the sampling connectivity scheme of Sutton, Ben-Nun and
+// Barak ("Optimizing parallel graph connectivity computation via subgraph
+// sampling", IPDPS'18) — included here as a representative of the modern
+// union-find-with-sampling family that followed the paper (and that
+// ConnectIt later systematized).
+//
+// Phase 1 (neighbour rounds): for r = 0..k-1, every vertex unions itself
+// with its r-th neighbour. After a couple of rounds most vertices of a
+// skewed real-world graph already share one giant set.
+// Phase 2 (skip the giant): sample vertices to find the most common
+// representative c, then finish by processing the remaining edges ONLY for
+// vertices whose representative is not c — the bulk of the edge list is
+// never touched.
+
+#include <unordered_map>
+
+#include "baselines/baselines.hpp"
+#include "baselines/rem_union_find.hpp"
+#include "parallel/random.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pcc::baselines {
+
+namespace {
+
+constexpr size_t kNeighborRounds = 2;
+constexpr size_t kSampleSize = 1024;
+
+}  // namespace
+
+std::vector<vertex_id> afforest_components(const graph::graph& g) {
+  const size_t n = g.num_vertices();
+  parallel_rem_union_find uf(n);
+  if (n == 0) return {};
+
+  // Phase 1: neighbour rounds.
+  for (size_t r = 0; r < kNeighborRounds; ++r) {
+    parallel::parallel_for(0, n, [&](size_t vi) {
+      const vertex_id v = static_cast<vertex_id>(vi);
+      const auto nbrs = g.neighbors(v);
+      if (r < nbrs.size()) uf.unite(v, nbrs[r]);
+    });
+  }
+
+  // Identify the (probable) giant component from a vertex sample.
+  auto labels = uf.flatten();
+  const parallel::rng gen(0xAFF0);
+  std::unordered_map<vertex_id, size_t> counts;
+  for (size_t s = 0; s < kSampleSize; ++s) {
+    ++counts[labels[gen.bounded(s, n)]];
+  }
+  vertex_id giant = labels[0];
+  size_t giant_count = 0;
+  for (const auto& [rep, c] : counts) {
+    if (c > giant_count) {
+      giant = rep;
+      giant_count = c;
+    }
+  }
+
+  // Phase 2: finish the stragglers — vertices not yet in the giant set
+  // process their remaining (un-sampled) edges.
+  parallel::parallel_for(0, n, [&](size_t vi) {
+    const vertex_id v = static_cast<vertex_id>(vi);
+    if (labels[v] == giant) return;
+    const auto nbrs = g.neighbors(v);
+    for (size_t i = kNeighborRounds; i < nbrs.size(); ++i) {
+      uf.unite(v, nbrs[i]);
+    }
+  });
+  return uf.flatten();
+}
+
+}  // namespace pcc::baselines

@@ -1,0 +1,106 @@
+// awerbuch-shiloach-CC: the tree-hooking connectivity algorithm of
+// Awerbuch and Shiloach (ICPP'83), the second classic the paper names in
+// the "simple but O(m log n) work" family. Each round: (1) conditional
+// hooking — star roots hook under strictly smaller neighbouring labels,
+// (2) unconditional hooking — stars that could not hook in (1) hook under
+// any different neighbouring label (all of which are now strictly larger,
+// so no cycles form), (3) pointer-jumping shortcut.
+
+#include "baselines/baselines.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::baselines {
+
+namespace {
+
+using parallel::atomic_load;
+using parallel::atomic_store;
+using parallel::parallel_for;
+
+// Classic parallel star detection: st[v] is true iff v belongs to a tree
+// of depth <= 1 (a star).
+void detect_stars(const std::vector<vertex_id>& parent,
+                  std::vector<uint8_t>& st) {
+  const size_t n = parent.size();
+  parallel_for(0, n, [&](size_t v) { st[v] = 1; });
+  parallel_for(0, n, [&](size_t v) {
+    const vertex_id p = parent[v];
+    const vertex_id gp = parent[p];
+    if (p != gp) {
+      st[v] = 0;
+      st[gp] = 0;  // the grandparent heads a non-star tree
+    }
+  });
+  parallel_for(0, n, [&](size_t v) {
+    // Members of a non-star tree inherit the verdict of their parent.
+    if (st[v]) st[v] = st[parent[v]];
+  });
+}
+
+}  // namespace
+
+std::vector<vertex_id> awerbuch_shiloach_components(const graph::graph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<vertex_id> parent(n);
+  parallel_for(0, n, [&](size_t v) { parent[v] = static_cast<vertex_id>(v); });
+  if (n == 0) return parent;
+  std::vector<uint8_t> star(n);
+
+  bool changed = true;
+  while (changed) {
+    uint8_t any = 0;
+
+    // (1) Conditional star hooking: strictly decreasing targets keep the
+    // forest acyclic under arbitrary write races.
+    detect_stars(parent, star);
+    parallel_for(0, n, [&](size_t ui) {
+      const vertex_id u = static_cast<vertex_id>(ui);
+      if (!star[u]) return;
+      const vertex_id pu = atomic_load(&parent[u]);
+      for (vertex_id w : g.neighbors(u)) {
+        const vertex_id pw = atomic_load(&parent[w]);
+        if (pw < pu) {
+          if (parallel::write_min(&parent[pu], pw)) {
+            atomic_store(&any, uint8_t{1});
+          }
+        }
+      }
+    });
+
+    // (2) Unconditional star hooking: a star that survived (1) has no
+    // strictly smaller neighbouring label, so every hook here strictly
+    // increases the root label — again acyclic.
+    detect_stars(parent, star);
+    parallel_for(0, n, [&](size_t ui) {
+      const vertex_id u = static_cast<vertex_id>(ui);
+      if (!star[u]) return;
+      const vertex_id pu = atomic_load(&parent[u]);
+      for (vertex_id w : g.neighbors(u)) {
+        const vertex_id pw = atomic_load(&parent[w]);
+        if (pw != pu && pw > pu) {
+          if (parallel::cas(&parent[pu], pu, pw)) {
+            atomic_store(&any, uint8_t{1});
+          }
+          break;
+        }
+      }
+    });
+
+    // (3) Shortcut.
+    parallel_for(0, n, [&](size_t v) {
+      const vertex_id p = parent[v];
+      const vertex_id gp = parent[p];
+      if (p != gp) {
+        parent[v] = gp;
+        atomic_store(&any, uint8_t{1});
+      }
+    });
+
+    changed = any != 0;
+  }
+  return parent;
+}
+
+}  // namespace pcc::baselines

@@ -1,0 +1,136 @@
+#include "baselines/bfs.hpp"
+
+#include "parallel/atomics.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::baselines {
+
+namespace {
+using parallel::atomic_load;
+using parallel::cas;
+using parallel::fetch_add;
+using parallel::parallel_for;
+}  // namespace
+
+void bfs_scratch::ensure(size_t n) {
+  if (next.size() < n) {
+    next.resize(n);
+    on_frontier.assign(n, 0);
+    next_flags.assign(n, 0);
+  }
+}
+
+bfs_result hybrid_bfs_label(const graph::graph& g, vertex_id source,
+                            std::vector<vertex_id>& labels, vertex_id label,
+                            double dense_threshold, bfs_scratch* scratch) {
+  const size_t n = g.num_vertices();
+  bfs_result res;
+  if (labels[source] != kNoVertex) return res;
+  labels[source] = label;
+  res.num_visited = 1;
+
+  bfs_scratch local;
+  bfs_scratch& s = scratch != nullptr ? *scratch : local;
+  s.ensure(n);
+  std::vector<vertex_id> frontier{source};
+  std::vector<vertex_id>& next = s.next;
+  std::vector<uint8_t>& on_frontier = s.on_frontier;
+  std::vector<uint8_t>& next_flags = s.next_flags;
+  const size_t dense_cutoff =
+      static_cast<size_t>(dense_threshold * static_cast<double>(n));
+
+  while (!frontier.empty()) {
+    ++res.num_rounds;
+    if (frontier.size() > dense_cutoff) {
+      // Bottom-up step: unvisited vertices look for a frontier neighbour.
+      ++res.dense_rounds;
+      parallel_for(0, frontier.size(),
+                   [&](size_t i) { on_frontier[frontier[i]] = 1; });
+      parallel_for(0, n, [&](size_t vi) {
+        const vertex_id v = static_cast<vertex_id>(vi);
+        if (labels[v] != kNoVertex) return;
+        for (vertex_id u : g.neighbors(v)) {
+          if (on_frontier[u]) {
+            labels[v] = label;
+            next_flags[v] = 1;
+            break;
+          }
+        }
+      });
+      parallel_for(0, frontier.size(),
+                   [&](size_t i) { on_frontier[frontier[i]] = 0; });
+      std::vector<vertex_id> gathered = parallel::pack_index<vertex_id>(
+          n, [&](size_t v) { return next_flags[v] != 0; });
+      parallel_for(0, gathered.size(),
+                   [&](size_t i) { next_flags[gathered[i]] = 0; });
+      res.num_visited += gathered.size();
+      frontier.swap(gathered);
+    } else {
+      // Top-down step: frontier vertices claim unvisited neighbours.
+      size_t next_size = 0;
+      parallel_for(0, frontier.size(), [&](size_t fi) {
+        const vertex_id v = frontier[fi];
+        for (vertex_id w : g.neighbors(v)) {
+          if (atomic_load(&labels[w]) == kNoVertex &&
+              cas(&labels[w], kNoVertex, label)) {
+            next[fetch_add<size_t>(&next_size, 1)] = w;
+          }
+        }
+      });
+      res.num_visited += next_size;
+      frontier.assign(next.begin(), next.begin() + next_size);
+    }
+  }
+  return res;
+}
+
+std::vector<vertex_id> parallel_bfs_parents(const graph::graph& g,
+                                            vertex_id source) {
+  const size_t n = g.num_vertices();
+  std::vector<vertex_id> parents(n, kNoVertex);
+  parents[source] = source;
+  std::vector<vertex_id> frontier{source};
+  std::vector<vertex_id> next(n);
+  while (!frontier.empty()) {
+    size_t next_size = 0;
+    parallel_for(0, frontier.size(), [&](size_t fi) {
+      const vertex_id v = frontier[fi];
+      for (vertex_id w : g.neighbors(v)) {
+        if (atomic_load(&parents[w]) == kNoVertex &&
+            cas(&parents[w], kNoVertex, v)) {
+          next[fetch_add<size_t>(&next_size, 1)] = w;
+        }
+      }
+    });
+    frontier.assign(next.begin(), next.begin() + next_size);
+  }
+  return parents;
+}
+
+std::vector<uint32_t> parallel_bfs_distances(const graph::graph& g,
+                                             vertex_id source) {
+  const size_t n = g.num_vertices();
+  constexpr uint32_t kInf = ~0u;
+  std::vector<uint32_t> dist(n, kInf);
+  dist[source] = 0;
+  std::vector<vertex_id> frontier{source};
+  std::vector<vertex_id> next(n);
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    size_t next_size = 0;
+    parallel_for(0, frontier.size(), [&](size_t fi) {
+      const vertex_id v = frontier[fi];
+      for (vertex_id w : g.neighbors(v)) {
+        if (atomic_load(&dist[w]) == kInf && cas(&dist[w], kInf, level)) {
+          next[fetch_add<size_t>(&next_size, 1)] = w;
+        }
+      }
+    });
+    frontier.assign(next.begin(), next.begin() + next_size);
+  }
+  return dist;
+}
+
+}  // namespace pcc::baselines

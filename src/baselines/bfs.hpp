@@ -1,0 +1,51 @@
+// Parallel breadth-first search, plain and direction-optimizing.
+//
+// The direction-optimizing (hybrid) BFS of Beamer, Asanovic, Patterson
+// (SC'12) switches from the write-based "top-down" step to a read-based
+// "bottom-up" step when the frontier grows large: every unvisited vertex
+// scans its neighbours and stops at the first one found on the frontier.
+// This is the engine of the hybrid-BFS-CC and multistep-CC baselines and
+// of the read-based rounds in decomp-arb-hybrid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pcc::baselines {
+
+struct bfs_result {
+  size_t num_visited = 0;
+  size_t num_rounds = 0;
+  size_t dense_rounds = 0;
+};
+
+// Reusable O(n) work buffers so callers that run one BFS per component
+// (hybrid-BFS-CC) pay the allocation once, not once per component.
+struct bfs_scratch {
+  std::vector<vertex_id> next;
+  std::vector<uint8_t> on_frontier;
+  std::vector<uint8_t> next_flags;
+  void ensure(size_t n);
+};
+
+// Visit the component of `source`, writing `label` into labels[v] for every
+// vertex reached (labels must hold kNoVertex for unvisited vertices; the
+// search never crosses already-labeled vertices). Direction-optimizing with
+// the given frontier-fraction threshold.
+bfs_result hybrid_bfs_label(const graph::graph& g, vertex_id source,
+                            std::vector<vertex_id>& labels, vertex_id label,
+                            double dense_threshold = 0.2,
+                            bfs_scratch* scratch = nullptr);
+
+// Plain level-synchronous parallel BFS; returns the parent of each reached
+// vertex (source's parent is itself) and kNoVertex elsewhere.
+std::vector<vertex_id> parallel_bfs_parents(const graph::graph& g,
+                                            vertex_id source);
+
+// BFS distances from source; unreachable vertices get UINT32_MAX.
+std::vector<uint32_t> parallel_bfs_distances(const graph::graph& g,
+                                             vertex_id source);
+
+}  // namespace pcc::baselines

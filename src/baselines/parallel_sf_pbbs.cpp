@@ -1,0 +1,99 @@
+// parallel-SF-PBBS: spanning-forest connectivity via deterministic
+// reservations, following the PBBS implementation (Blelloch, Fineman,
+// Gibbons, Shun, PPoPP'12; benchmarked by the paper as parallel-SF-PBBS).
+//
+// Edges are processed speculatively in prefix batches. Each live edge
+// reserves the roots of both its endpoints with a priority writeMin of its
+// edge index; an edge commits (links the two roots) only if it still holds
+// both reservations, otherwise it retries in a later round. The committed
+// link set is therefore independent of thread scheduling.
+
+#include "baselines/baselines.hpp"
+#include "baselines/union_find.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+#include "parallel/speculative_for.hpp"
+
+namespace pcc::baselines {
+
+namespace {
+
+struct sf_step {
+  // One direction of each undirected edge, gathered up front.
+  const std::vector<graph::edge>& edges;
+  concurrent_union_find& uf;
+  std::vector<parallel::reservation>& cells;
+  // Roots snapshotted by reserve() for use by commit() in the same round.
+  std::vector<std::pair<vertex_id, vertex_id>>& roots;
+
+  bool reserve(uint64_t i) {
+    const auto [u, w] = edges[i];
+    const vertex_id ru = uf.find_compress(u);
+    const vertex_id rw = uf.find_compress(w);
+    if (ru == rw) return false;  // endpoints already connected: drop
+    roots[i] = {ru, rw};
+    cells[ru].reserve(i);
+    cells[rw].reserve(i);
+    return true;
+  }
+
+  bool commit(uint64_t i) {
+    const auto [ru, rw] = roots[i];
+    // As in PBBS: holding EITHER root's reservation suffices — the edge
+    // links the root it owns under the other one. (Requiring both would
+    // serialize the merges into a popular root, e.g. a giant component's.)
+    // Acyclicity: a cycle would need edges i linking ru->rw and j linking
+    // rw->ru; both would have reserved both cells, so one of them holds
+    // both and the other holds neither — contradiction.
+    if (cells[ru].check_and_release(i)) {
+      cells[rw].check_and_release(i);
+      parallel::atomic_store(uf.data() + ru, rw);
+      return true;
+    }
+    if (cells[rw].check_and_release(i)) {
+      parallel::atomic_store(uf.data() + rw, ru);
+      return true;
+    }
+    return false;  // retry in a later round
+  }
+};
+
+}  // namespace
+
+std::vector<vertex_id> parallel_sf_pbbs_components(const graph::graph& g) {
+  const size_t n = g.num_vertices();
+
+  // Gather one direction of each edge (the speculative loop needs indexed
+  // random access to the edge sequence).
+  std::vector<graph::edge> edges;
+  edges.reserve(g.num_undirected_edges());
+  {
+    std::vector<size_t> offsets;
+    const size_t total = parallel::scan_exclusive_into(
+        n,
+        [&](size_t u) {
+          size_t c = 0;
+          for (vertex_id w : g.neighbors(static_cast<vertex_id>(u))) {
+            if (u < w) ++c;
+          }
+          return c;
+        },
+        offsets);
+    edges.resize(total);
+    parallel::parallel_for(0, n, [&](size_t u) {
+      size_t k = offsets[u];
+      for (vertex_id w : g.neighbors(static_cast<vertex_id>(u))) {
+        if (u < w) edges[k++] = {static_cast<vertex_id>(u), w};
+      }
+    });
+  }
+
+  concurrent_union_find uf(n);
+  std::vector<parallel::reservation> cells(n);
+  std::vector<std::pair<vertex_id, vertex_id>> roots(edges.size());
+  sf_step step{edges, uf, cells, roots};
+  parallel::speculative_for(step, edges.size());
+  return uf.flatten();
+}
+
+}  // namespace pcc::baselines

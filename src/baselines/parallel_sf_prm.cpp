@@ -1,0 +1,97 @@
+// parallel-SF-PRM: multicore spanning-forest connectivity in the style of
+// Patwary, Refsnes, Manne, "Multi-core spanning forest algorithms using the
+// disjoint-set data structure" (IPDPS'12) — the lock-based variant the
+// paper benchmarks (their verification-based variant can fail to
+// terminate, so the paper uses this one).
+//
+// Structure of the PRM code: statically partition the edges across
+// threads; each thread performs unions into a shared disjoint-set
+// structure, synchronizing only on root updates; finish with a parallel
+// pass that publishes every vertex's root (the "post-processing step that
+// finds the ID of the root of the tree for each vertex" included in the
+// paper's timings).
+//
+// Root updates here use a short spinlock per vertex (the lock-based
+// flavour of PRM); locks are ordered by vertex id so no deadlock is
+// possible.
+
+#include <atomic>
+
+#include "baselines/baselines.hpp"
+#include "baselines/union_find.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pcc::baselines {
+
+namespace {
+
+// Minimal spinlock array; PRM guard their root links the same way.
+class spinlocks {
+ public:
+  explicit spinlocks(size_t n) : locks_(n) {
+    for (auto& l : locks_) l.clear();
+  }
+  void lock(vertex_id i) {
+    while (locks_[i].test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock(vertex_id i) { locks_[i].clear(std::memory_order_release); }
+
+ private:
+  std::vector<std::atomic_flag> locks_;
+};
+
+}  // namespace
+
+std::vector<vertex_id> parallel_sf_prm_components(const graph::graph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<vertex_id> parent(n);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    parent[v] = static_cast<vertex_id>(v);
+  });
+  spinlocks locks(n);
+
+  const auto find = [&](vertex_id x) {
+    while (true) {
+      const vertex_id p = parallel::atomic_load(&parent[x]);
+      if (p == x) return x;
+      // Path halving; racing writes all point x at an ancestor, so the
+      // structure stays a forest.
+      const vertex_id gp = parallel::atomic_load(&parent[p]);
+      parallel::atomic_store(&parent[x], gp);
+      x = gp;
+    }
+  };
+
+  // Edge partitioning: parallel over vertices, one direction per edge.
+  parallel::parallel_for(0, n, [&](size_t ui) {
+    const vertex_id u = static_cast<vertex_id>(ui);
+    for (vertex_id w : g.neighbors(u)) {
+      if (u >= w) continue;
+      while (true) {
+        const vertex_id ru = find(u);
+        const vertex_id rw = find(w);
+        if (ru == rw) break;
+        // Lock the larger root; link it under the smaller. Re-check
+        // rootness under the lock (it may have been linked meanwhile).
+        const vertex_id hi = ru > rw ? ru : rw;
+        const vertex_id lo = ru > rw ? rw : ru;
+        locks.lock(hi);
+        const bool still_root = parallel::atomic_load(&parent[hi]) == hi;
+        if (still_root) parallel::atomic_store(&parent[hi], lo);
+        locks.unlock(hi);
+        if (still_root) break;
+        // hi stopped being a root: retry with fresh roots.
+      }
+    }
+  });
+
+  // Post-processing: publish the root id of every vertex, in parallel.
+  std::vector<vertex_id> labels(n);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    labels[v] = find(static_cast<vertex_id>(v));
+  });
+  return labels;
+}
+
+}  // namespace pcc::baselines

@@ -1,0 +1,71 @@
+// random-mate-CC: the classic contraction algorithm of Reif (1985) /
+// Phillips (1989), cited by the paper as the archetypal simple parallel
+// connectivity algorithm that is NOT work-efficient: a constant fraction of
+// the vertices disappears per round in expectation, but all remaining edges
+// are revisited every round, giving O(m log n) expected work.
+//
+// Each round every root flips a coin; every cross edge whose tail-root sees
+// a head-root hooks the tail under the head (arbitrary winner), then all
+// trees are compressed to stars.
+
+#include "baselines/baselines.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/random.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::baselines {
+
+std::vector<vertex_id> random_mate_components(const graph::graph& g,
+                                              uint64_t seed) {
+  const size_t n = g.num_vertices();
+  std::vector<vertex_id> parent(n);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    parent[v] = static_cast<vertex_id>(v);
+  });
+  if (n == 0) return parent;
+
+  const parallel::rng gen(seed);
+  uint64_t round = 0;
+  while (true) {
+    ++round;
+    const uint64_t salt = parallel::hash64(round);
+    const auto heads = [&](vertex_id root) {
+      return (gen[salt ^ root] & 1) != 0;
+    };
+
+    // Hook tails under adjacent heads. Roots are stars after the previous
+    // round's compression, so parent[x] is the root of x.
+    uint8_t any_cross = 0;
+    parallel::parallel_for(0, n, [&](size_t ui) {
+      const vertex_id u = static_cast<vertex_id>(ui);
+      const vertex_id ru = parallel::atomic_load(&parent[u]);
+      for (vertex_id w : g.neighbors(u)) {
+        const vertex_id rw = parallel::atomic_load(&parent[w]);
+        if (ru == rw) continue;
+        parallel::atomic_store(&any_cross, uint8_t{1});
+        if (!heads(ru) && heads(rw)) {
+          // Arbitrary winner among concurrent hooks of ru; all targets are
+          // heads, and heads never hook, so the result stays a forest of
+          // depth <= 2.
+          parallel::atomic_store(&parent[ru], rw);
+        }
+      }
+    });
+    if (any_cross == 0) break;
+
+    // Compress to stars (depth <= 2 after hooking, so two jumps suffice).
+    for (int jump = 0; jump < 2; ++jump) {
+      parallel::parallel_for(0, n, [&](size_t v) {
+        parent[v] = parent[parent[v]];
+      });
+    }
+  }
+  return parent;
+}
+
+std::vector<vertex_id> random_mate_components(const graph::graph& g) {
+  return random_mate_components(g, 0x5eed);
+}
+
+}  // namespace pcc::baselines

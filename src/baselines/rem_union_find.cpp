@@ -1,0 +1,56 @@
+#include "baselines/rem_union_find.hpp"
+
+#include "baselines/baselines.hpp"
+
+namespace pcc::baselines {
+
+bool parallel_rem_union_find::unite(vertex_id u, vertex_id v) {
+  while (true) {
+    vertex_id pu = parallel::atomic_load(&parent_[u]);
+    vertex_id pv = parallel::atomic_load(&parent_[v]);
+    if (pu == pv) return false;
+    if (pu < pv) {
+      std::swap(u, v);
+      std::swap(pu, pv);
+    }
+    // pu > pv: advance / link on the u side.
+    if (u == pu) {
+      // u looks like a root: confirm under its lock and link it below pv.
+      lock(u);
+      const bool still_root = parallel::atomic_load(&parent_[u]) == u;
+      if (still_root) parallel::atomic_store(&parent_[u], pv);
+      unlock(u);
+      if (still_root) return true;
+      continue;  // someone re-rooted u meanwhile: retry with fresh parents
+    }
+    // Splice: point u at the smaller pv (racy CAS; failure just retries
+    // from fresh values). Links only ever decrease, so no cycles.
+    parallel::cas(&parent_[u], pu, pv);
+    u = pu;
+  }
+}
+
+std::vector<vertex_id> parallel_rem_union_find::flatten() {
+  const size_t n = parent_.size();
+  std::vector<vertex_id> labels(n);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    vertex_id x = static_cast<vertex_id>(v);
+    while (parent_[x] != x) x = parent_[x];
+    labels[v] = x;
+  });
+  return labels;
+}
+
+std::vector<vertex_id> parallel_sf_rem_components(const graph::graph& g) {
+  const size_t n = g.num_vertices();
+  parallel_rem_union_find uf(n);
+  parallel::parallel_for(0, n, [&](size_t ui) {
+    const vertex_id u = static_cast<vertex_id>(ui);
+    for (vertex_id w : g.neighbors(u)) {
+      if (u < w) uf.unite(u, w);
+    }
+  });
+  return uf.flatten();
+}
+
+}  // namespace pcc::baselines

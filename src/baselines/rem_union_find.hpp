@@ -1,0 +1,94 @@
+// Rem's union-find algorithm, sequential and lock-based parallel.
+//
+// Patwary, Refsnes and Manne's multicore spanning-forest study (the
+// parallel-SF-PRM baseline of the paper) found Rem's algorithm — an
+// interleaved union-find that splices the two find paths into each other —
+// to be the fastest disjoint-set variant both sequentially and as the core
+// of their lock-based parallel code. This header provides both flavours;
+// parallel_sf_rem_components (baselines.hpp) is the connectivity entry
+// point built on the parallel one.
+//
+// Reference: Patwary, Blair, Manne, "Experiments on union-find algorithms
+// for the disjoint-set data structure" (SEA'10); Rem's algorithm is
+// exercise 2.3.3-story in Dijkstra's "A Discipline of Programming".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/atomics.hpp"
+#include "parallel/defs.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pcc::baselines {
+
+// Sequential Rem's algorithm with splicing (SPS variant). The classic
+// interleaved walk: advance whichever endpoint has the smaller parent,
+// splicing it onto the other side, until the walks meet or a root is
+// settled. unite() returns true iff the edge merged two distinct sets.
+class rem_union_find {
+ public:
+  explicit rem_union_find(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<vertex_id>(i);
+  }
+
+  bool unite(vertex_id u, vertex_id v) {
+    while (parent_[u] != parent_[v]) {
+      // Invariant-friendly orientation: work on the side with the larger
+      // parent (links always point to smaller ids).
+      if (parent_[u] < parent_[v]) std::swap(u, v);
+      if (u == parent_[u]) {  // u is a root: link it and finish
+        parent_[u] = parent_[v];
+        return true;
+      }
+      // Splice: redirect u one step down while walking up.
+      const vertex_id z = parent_[u];
+      parent_[u] = parent_[v];
+      u = z;
+    }
+    return false;
+  }
+
+  // Representative lookup (plain walk; unite() keeps paths short).
+  vertex_id find(vertex_id x) const {
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
+
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<vertex_id> parent_;
+};
+
+// Lock-based parallel Rem (the PRM scheme): the splicing walk runs
+// lock-free; only the final root link takes the root's lock and re-checks
+// rootness under it. Links strictly decrease ids, so the structure stays
+// acyclic under concurrency.
+class parallel_rem_union_find {
+ public:
+  explicit parallel_rem_union_find(size_t n)
+      : parent_(n), locks_(n) {
+    parallel::parallel_for(0, n, [&](size_t i) {
+      parent_[i] = static_cast<vertex_id>(i);
+    });
+    for (auto& l : locks_) l.clear();
+  }
+
+  bool unite(vertex_id u, vertex_id v);
+
+  // Publish every vertex's root (call after all unions have completed).
+  std::vector<vertex_id> flatten();
+
+ private:
+  void lock(vertex_id i) {
+    while (locks_[i].test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock(vertex_id i) { locks_[i].clear(std::memory_order_release); }
+
+  std::vector<vertex_id> parent_;
+  std::vector<std::atomic_flag> locks_;
+};
+
+}  // namespace pcc::baselines

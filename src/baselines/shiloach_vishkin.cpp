@@ -1,0 +1,63 @@
+// shiloach-vishkin-CC: the classic O(m log n)-work, O(log n)-depth PRAM
+// connectivity algorithm (Shiloach and Vishkin, J. Algorithms 1982), in the
+// practical hook-and-shortcut formulation. Each round hooks the root of
+// one endpoint's tree under the smaller-rooted tree of the other endpoint,
+// then fully compresses all trees with pointer jumping. The trees halve in
+// count per round but edges are revisited every round — the archetype of
+// the "simple but super-linear work" family the paper improves upon.
+
+#include "baselines/baselines.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::baselines {
+
+std::vector<vertex_id> shiloach_vishkin_components(const graph::graph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<vertex_id> parent(n);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    parent[v] = static_cast<vertex_id>(v);
+  });
+  if (n == 0) return parent;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Hook: for every edge (u, w) between different stars, point the larger
+    // root at the smaller. writeMin keeps the forest acyclic (roots only
+    // ever decrease).
+    uint8_t any_hook = 0;
+    parallel::parallel_for(0, n, [&](size_t ui) {
+      const vertex_id u = static_cast<vertex_id>(ui);
+      const vertex_id pu = parallel::atomic_load(&parent[u]);
+      for (vertex_id w : g.neighbors(u)) {
+        const vertex_id pw = parallel::atomic_load(&parent[w]);
+        if (pu < pw) {
+          if (parallel::write_min(&parent[pw], pu)) {
+            parallel::atomic_store(&any_hook, uint8_t{1});
+          }
+        }
+      }
+    });
+    changed = any_hook != 0;
+
+    // Shortcut: pointer-jump every tree down to a star.
+    bool jumped = true;
+    while (jumped) {
+      uint8_t any_jump = 0;
+      parallel::parallel_for(0, n, [&](size_t v) {
+        const vertex_id p = parallel::atomic_load(&parent[v]);
+        const vertex_id gp = parallel::atomic_load(&parent[p]);
+        if (p != gp) {
+          parallel::atomic_store(&parent[v], gp);
+          parallel::atomic_store(&any_jump, uint8_t{1});
+        }
+      });
+      jumped = any_jump != 0;
+    }
+  }
+  return parent;
+}
+
+}  // namespace pcc::baselines

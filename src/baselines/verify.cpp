@@ -1,0 +1,43 @@
+#include "baselines/verify.hpp"
+
+#include <unordered_map>
+
+#include "graph/stats.hpp"
+
+namespace pcc::baselines {
+
+bool labels_equivalent(const std::vector<vertex_id>& a,
+                       const std::vector<vertex_id>& b) {
+  if (a.size() != b.size()) return false;
+  // Same partition <=> the label maps a->b and b->a are both functions.
+  std::unordered_map<vertex_id, vertex_id> fwd;
+  std::unordered_map<vertex_id, vertex_id> bwd;
+  for (size_t v = 0; v < a.size(); ++v) {
+    if (const auto [it, inserted] = fwd.try_emplace(a[v], b[v]);
+        !inserted && it->second != b[v]) {
+      return false;
+    }
+    if (const auto [it, inserted] = bwd.try_emplace(b[v], a[v]);
+        !inserted && it->second != a[v]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_valid_components_labeling(const graph::graph& g,
+                                  const std::vector<vertex_id>& labels) {
+  if (labels.size() != g.num_vertices()) return false;
+  return labels_equivalent(labels, graph::reference_components(g));
+}
+
+bool labels_are_representatives(const std::vector<vertex_id>& labels) {
+  // label L names component {v : labels[v] == L}; L must be a member.
+  for (size_t v = 0; v < labels.size(); ++v) {
+    const vertex_id l = labels[v];
+    if (l >= labels.size() || labels[l] != l) return false;
+  }
+  return true;
+}
+
+}  // namespace pcc::baselines

@@ -1,0 +1,23 @@
+// Labeling verification utilities shared by tests and benches.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pcc::baselines {
+
+// True iff the two labelings induce exactly the same partition of the
+// vertices (labels themselves may differ).
+bool labels_equivalent(const std::vector<vertex_id>& a,
+                       const std::vector<vertex_id>& b);
+
+// Full check of `labels` against a sequential BFS oracle on g.
+bool is_valid_components_labeling(const graph::graph& g,
+                                  const std::vector<vertex_id>& labels);
+
+// True iff every label is the id of a vertex inside the labeled component
+// (the representative invariant pcc::cc maintains).
+bool labels_are_representatives(const std::vector<vertex_id>& labels);
+
+}  // namespace pcc::baselines

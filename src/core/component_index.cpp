@@ -1,0 +1,63 @@
+#include "core/component_index.hpp"
+
+#include <cassert>
+
+#include "parallel/histogram.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::cc {
+
+component_index::component_index(const std::vector<vertex_id>& labels) {
+  const size_t n = labels.size();
+  comp_of_.resize(n);
+  vertices_.resize(n);
+  if (n == 0) {
+    starts_ = {0};
+    return;
+  }
+
+  // Dense component ids: representatives (labels[v] == v... not required —
+  // any label < n works) ranked by a scan over the occupied label values.
+  const std::vector<size_t> counts =
+      parallel::histogram(n, n, [&](size_t v) {
+        assert(labels[v] < n);
+        return labels[v];
+      });
+  std::vector<size_t> rank;
+  const size_t k = parallel::scan_exclusive_into(
+      n, [&](size_t l) { return counts[l] > 0 ? size_t{1} : size_t{0}; },
+      rank);
+
+  parallel::parallel_for(0, n, [&](size_t v) {
+    comp_of_[v] = static_cast<vertex_id>(rank[labels[v]]);
+  });
+
+  // Group vertices by component: offsets from the counts, then scatter
+  // (stable within a component up to the scatter race; ordering inside a
+  // component is not part of the contract).
+  sizes_.resize(k);
+  parallel::parallel_for(0, n, [&](size_t l) {
+    if (counts[l] > 0) sizes_[rank[l]] = counts[l];
+  });
+  starts_.resize(k + 1);
+  std::vector<size_t> offsets;
+  parallel::scan_exclusive_into(
+      k, [&](size_t c) { return sizes_[c]; }, offsets);
+  parallel::parallel_for(0, k, [&](size_t c) { starts_[c] = offsets[c]; });
+  starts_[k] = n;
+
+  std::vector<size_t> cursor = offsets;
+  parallel::parallel_for(0, n, [&](size_t v) {
+    const size_t pos =
+        parallel::fetch_add<size_t>(&cursor[comp_of_[v]], size_t{1});
+    vertices_[pos] = static_cast<vertex_id>(v);
+  });
+
+  largest_ = 0;
+  for (size_t c = 1; c < k; ++c) {
+    if (sizes_[c] > sizes_[largest_]) largest_ = static_cast<vertex_id>(c);
+  }
+}
+
+}  // namespace pcc::cc

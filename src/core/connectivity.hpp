@@ -1,0 +1,73 @@
+// Parallel connected components — the paper's Algorithm 1.
+//
+// connected_components(G) returns a labeling L with L(u) == L(v) iff u and
+// v are in the same component. The labels satisfy a stronger invariant this
+// implementation maintains and the tests check: L(v) is always the id of
+// some vertex inside v's component (a representative).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ldd.hpp"
+#include "graph/graph.hpp"
+#include "parallel/timer.hpp"
+
+namespace pcc::cc {
+
+enum class decomp_variant {
+  kMin,       // decomp-min-CC
+  kArb,       // decomp-arb-CC
+  kArbHybrid  // decomp-arb-hybrid-CC
+};
+
+const char* variant_name(decomp_variant v);
+
+struct cc_options {
+  // beta must lie in (0, 1); the linear-work guarantee for the Arb variants
+  // needs beta < 1/2 (Theorem 2), and the paper's sweet spot is 0.05-0.2.
+  double beta = 0.2;
+  decomp_variant variant = decomp_variant::kArbHybrid;
+  ldd::shift_mode shifts = ldd::shift_mode::kPermutationChunks;
+  // Remove duplicate inter-cluster edges when contracting (paper default;
+  // correctness holds either way).
+  bool dedup = true;
+  uint64_t seed = 42;
+  double dense_threshold = 0.2;  // hybrid read/write switch point
+  // High-degree edge-parallel processing threshold for decomp_arb (see
+  // ldd::options::parallel_edge_threshold). Default off.
+  size_t parallel_edge_threshold = SIZE_MAX;
+  // Safety net: beyond this recursion depth, finish with a sequential
+  // spanning forest (never reached for beta in the supported range; guards
+  // against adversarial degenerate configurations).
+  size_t max_levels = 128;
+};
+
+// Per-recursion-level measurements — the raw series behind Figure 4.
+struct level_stats {
+  size_t n = 0;                  // vertices at this level
+  size_t m = 0;                  // directed edges at this level
+  size_t edges_kept = 0;         // directed inter-cluster edges after decomp
+  size_t edges_after_dedup = 0;  // directed edges passed to the next level
+  size_t num_clusters = 0;
+  size_t num_singletons = 0;
+  size_t bfs_rounds = 0;
+  size_t dense_rounds = 0;
+};
+
+struct cc_stats {
+  std::vector<level_stats> levels;
+  parallel::phase_timer phases;  // summed across levels (Figures 5-7)
+  bool used_fallback = false;    // max_levels safety net triggered
+};
+
+// Algorithm 1: recursive decompose-contract-relabel connectivity.
+std::vector<vertex_id> connected_components(const graph::graph& g,
+                                            const cc_options& opt = {},
+                                            cc_stats* stats = nullptr);
+
+// Number of distinct labels (= components) in a labeling.
+size_t num_components(const std::vector<vertex_id>& labels);
+
+}  // namespace pcc::cc

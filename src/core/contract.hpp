@@ -1,0 +1,36 @@
+// Graph contraction: collapse each decomposition cluster into one vertex.
+#pragma once
+
+#include <vector>
+
+#include "core/ldd.hpp"
+#include "graph/graph.hpp"
+
+namespace pcc::cc {
+
+// Result of contracting a decomposed graph.
+struct contraction {
+  // The contracted graph: one vertex per non-singleton cluster (a cluster
+  // is a singleton if no inter-cluster edge touches it — the paper removes
+  // those before recursing), edges = deduplicated inter-cluster edges.
+  graph::graph contracted;
+  // new_id[c] = contracted-vertex id of the cluster centered at c, or
+  // kNoVertex if c is not a center or centers a singleton cluster.
+  std::vector<vertex_id> new_id;
+  // rep[x] = center vertex (in the input graph) of contracted vertex x.
+  std::vector<vertex_id> rep;
+  size_t num_clusters = 0;            // including singleton clusters
+  size_t num_singleton_clusters = 0;  // clusters with no inter-cluster edge
+  size_t edges_before_dedup = 0;      // directed inter-cluster edges kept
+};
+
+// Contract `wg` according to the decomposition `dec`. Requires the
+// post-decomposition invariant: for each v, the first wg.degrees[v] entries
+// of its adjacency are its inter-cluster edges with targets relabeled to
+// cluster ids. When `dedup` is set, duplicate edges between cluster pairs
+// are removed with a phase-concurrent hash table (the paper notes the
+// algorithm stays correct without it; it is an ablation knob here).
+contraction contract(const ldd::work_graph& wg, const ldd::result& dec,
+                     bool dedup = true);
+
+}  // namespace pcc::cc

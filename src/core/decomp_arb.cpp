@@ -1,0 +1,128 @@
+// Decomp-Arb (Algorithm 3 of the paper).
+//
+// One phase per BFS frontier: a frontier vertex v scans its remaining
+// edges; an unvisited neighbour w is claimed with a CAS on C[w] (arbitrary
+// tie-breaking — whichever BFS's CAS lands first wins, which Theorem 2
+// shows only doubles the inter-cluster edge bound). Claimed neighbours
+// join the next frontier and the edge is deleted as intra-cluster;
+// otherwise the edge is kept iff the labels differ, with the target
+// relabeled to its cluster id on the fly.
+
+#include "core/ldd.hpp"
+#include "core/ldd_internal.hpp"
+#include "parallel/atomics.hpp"
+
+namespace pcc::ldd {
+
+namespace {
+using parallel::atomic_load;
+using parallel::cas;
+using parallel::fetch_add;
+using parallel::parallel_for;
+using parallel::timer;
+}  // namespace
+
+result decomp_arb(work_graph& wg, const options& opt,
+                  parallel::phase_timer* pt) {
+  const size_t n = wg.n;
+  const std::vector<edge_id>& V = *wg.offsets;
+  std::vector<vertex_id>& E = wg.edges;
+  std::vector<vertex_id>& D = wg.degrees;
+
+  result res;
+  res.cluster.assign(n, kNoVertex);  // kNoVertex plays the paper's infinity
+  if (n == 0) return res;
+  std::vector<vertex_id>& C = res.cluster;
+
+  timer t;
+  internal::shift_schedule schedule(n, opt);
+  std::vector<vertex_id> frontier;
+  std::vector<vertex_id> next(n);
+  if (pt != nullptr) pt->add("init", t.lap());
+
+  size_t num_visited = 0;
+  size_t round = 0;
+  while (num_visited < n) {
+    // bfsPre: start BFS's at the unvisited vertices whose shift value fell
+    // into this round, appending them to the shared frontier array.
+    t.start();
+    res.num_clusters += internal::add_new_centers(
+        schedule, round, frontier,
+        [&](vertex_id v) { return C[v] == kNoVertex; },
+        [&](vertex_id v) { C[v] = v; });
+    // Every frontier member was first visited this round (carried-over
+    // vertices were claimed during the previous round's edge phase).
+    num_visited += frontier.size();
+    if (pt != nullptr) pt->add("bfsPre", t.lap());
+
+    // bfsMain: single pass over the frontier's edges (Lines 9-20).
+    size_t next_size = 0;
+    parallel_for(0, frontier.size(), [&](size_t fi) {
+      const vertex_id v = frontier[fi];
+      const vertex_id my_label = C[v];
+      const edge_id start = V[v];
+      const vertex_id deg = D[v];
+      if (deg > opt.parallel_edge_threshold) {
+        // High-degree path (Section 4): parallel loop over the edges,
+        // deleted edges marked with a sentinel, then packed with a prefix
+        // sum. kNoVertex never appears as a kept label, so it serves as
+        // the deletion mark.
+        parallel_for(0, deg, [&](size_t i) {
+          const vertex_id w = E[start + i];
+          if (atomic_load(&C[w]) == kNoVertex &&
+              cas(&C[w], kNoVertex, my_label)) {
+            next[fetch_add<size_t>(&next_size, 1)] = w;
+            E[start + i] = kNoVertex;
+          } else {
+            const vertex_id w_label = atomic_load(&C[w]);
+            E[start + i] = w_label != my_label ? w_label : kNoVertex;
+          }
+        });
+        std::vector<size_t> pos;
+        const size_t kept = parallel::scan_exclusive_into(
+            deg,
+            [&](size_t i) {
+              return E[start + i] != kNoVertex ? size_t{1} : size_t{0};
+            },
+            pos);
+        std::vector<vertex_id> packed(kept);
+        parallel_for(0, deg, [&](size_t i) {
+          if (E[start + i] != kNoVertex) packed[pos[i]] = E[start + i];
+        });
+        parallel_for(0, kept, [&](size_t i) { E[start + i] = packed[i]; });
+        D[v] = static_cast<vertex_id>(kept);
+        return;
+      }
+      vertex_id k = 0;
+      for (vertex_id i = 0; i < deg; ++i) {
+        const vertex_id w = E[start + i];
+        if (atomic_load(&C[w]) == kNoVertex &&
+            cas(&C[w], kNoVertex, my_label)) {
+          // v claimed w: intra-cluster edge, deleted by not keeping it.
+          next[fetch_add<size_t>(&next_size, 1)] = w;
+        } else {
+          const vertex_id w_label = atomic_load(&C[w]);
+          if (w_label != my_label) {
+            E[start + k] = w_label;  // inter-cluster: keep, relabeled
+            ++k;
+          }
+        }
+      }
+      D[v] = k;
+    });
+    frontier.assign(next.begin(), next.begin() + next_size);
+    if (pt != nullptr) pt->add("bfsMain", t.lap());
+    ++round;
+  }
+  res.num_rounds = round;
+  res.edges_kept =
+      parallel::reduce_sum<size_t>(n, [&](size_t v) { return D[v]; });
+  return res;
+}
+
+result decompose_arb(const graph::graph& g, const options& opt) {
+  work_graph wg = work_graph::from(g);
+  return decomp_arb(wg, opt, nullptr);
+}
+
+}  // namespace pcc::ldd

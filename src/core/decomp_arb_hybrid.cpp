@@ -1,0 +1,166 @@
+// Decomp-Arb-Hybrid: Decomp-Arb with direction-optimizing traversal
+// (Beamer et al.; Ligra-style), as described in Section 4 of the paper.
+//
+// When the frontier holds more than `dense_threshold` of the vertices the
+// round switches to a read-based computation: every unvisited vertex scans
+// its neighbours and adopts the cluster of the first one it finds on the
+// frontier, then exits the scan early. The read direction is more
+// cache-friendly and needs no atomics, but it leaves edge statuses
+// undetermined, so a post-processing pass (filterEdges) resolves the edges
+// of every vertex that was never processed in a write-based round. Edges
+// relabeled on the fly during write-based rounds carry a sign-bit mark so
+// filterEdges does not touch them again.
+
+#include "core/ldd.hpp"
+#include "core/ldd_internal.hpp"
+#include "parallel/atomics.hpp"
+
+namespace pcc::ldd {
+
+namespace {
+using parallel::atomic_load;
+using parallel::cas;
+using parallel::fetch_add;
+using parallel::parallel_for;
+using parallel::timer;
+}  // namespace
+
+result decomp_arb_hybrid(work_graph& wg, const options& opt,
+                         parallel::phase_timer* pt) {
+  const size_t n = wg.n;
+  const std::vector<edge_id>& V = *wg.offsets;
+  std::vector<vertex_id>& E = wg.edges;
+  std::vector<vertex_id>& D = wg.degrees;
+
+  result res;
+  res.cluster.assign(n, kNoVertex);
+  if (n == 0) return res;
+  std::vector<vertex_id>& C = res.cluster;
+
+  timer t;
+  internal::shift_schedule schedule(n, opt);
+  std::vector<vertex_id> frontier;
+  std::vector<vertex_id> next(n);
+  // resolved[v]: v's adjacency prefix was compacted/relabeled by a
+  // write-based round; unresolved vertices go through filterEdges.
+  std::vector<uint8_t> resolved(n, 0);
+  std::vector<uint8_t> on_frontier(n, 0);
+  std::vector<uint8_t> next_flags(n, 0);
+  const size_t dense_cutoff = static_cast<size_t>(
+      opt.dense_threshold * static_cast<double>(n));
+  if (pt != nullptr) pt->add("init", t.lap());
+
+  size_t num_visited = 0;
+  size_t round = 0;
+  while (num_visited < n) {
+    t.start();
+    res.num_clusters += internal::add_new_centers(
+        schedule, round, frontier,
+        [&](vertex_id v) { return C[v] == kNoVertex; },
+        [&](vertex_id v) { C[v] = v; });
+    num_visited += frontier.size();
+    if (pt != nullptr) pt->add("bfsPre", t.lap());
+
+    if (frontier.size() > dense_cutoff) {
+      // Read-based (dense) round.
+      ++res.num_dense_rounds;
+      parallel_for(0, frontier.size(),
+                   [&](size_t i) { on_frontier[frontier[i]] = 1; });
+      parallel_for(0, n, [&](size_t vi) {
+        const vertex_id v = static_cast<vertex_id>(vi);
+        if (C[v] != kNoVertex) return;
+        const edge_id start = V[v];
+        const vertex_id deg = D[v];
+        for (vertex_id i = 0; i < deg; ++i) {
+          const vertex_id u = E[start + i];
+          if (on_frontier[u]) {
+            C[v] = C[u];  // only v writes C[v]: no atomics needed
+            next_flags[v] = 1;
+            break;  // direction-optimization early exit
+          }
+        }
+      });
+      // Gather the next frontier and reset the scratch flag arrays by
+      // touching only the entries that were set.
+      parallel_for(0, frontier.size(),
+                   [&](size_t i) { on_frontier[frontier[i]] = 0; });
+      std::vector<vertex_id> gathered =
+          parallel::pack_index<vertex_id>(n, [&](size_t v) {
+            return next_flags[v] != 0;
+          });
+      parallel_for(0, gathered.size(),
+                   [&](size_t i) { next_flags[gathered[i]] = 0; });
+      frontier.swap(gathered);
+      if (pt != nullptr) pt->add("bfsDense", t.lap());
+    } else {
+      // Write-based (sparse) round: identical to Decomp-Arb, except kept
+      // edges carry the mark bit recording "already relabeled".
+      size_t next_size = 0;
+      parallel_for(0, frontier.size(), [&](size_t fi) {
+        const vertex_id v = frontier[fi];
+        const vertex_id my_label = C[v];
+        const edge_id start = V[v];
+        vertex_id k = 0;
+        const vertex_id deg = D[v];
+        for (vertex_id i = 0; i < deg; ++i) {
+          const vertex_id w = E[start + i];
+          if (atomic_load(&C[w]) == kNoVertex &&
+              cas(&C[w], kNoVertex, my_label)) {
+            next[fetch_add<size_t>(&next_size, 1)] = w;
+          } else {
+            const vertex_id w_label = atomic_load(&C[w]);
+            if (w_label != my_label) {
+              E[start + k] = internal::mark_edge(w_label);
+              ++k;
+            }
+          }
+        }
+        D[v] = k;
+        resolved[v] = 1;
+      });
+      frontier.assign(next.begin(), next.begin() + next_size);
+      if (pt != nullptr) pt->add("bfsSparse", t.lap());
+    }
+    ++round;
+  }
+
+  // filterEdges: resolve the adjacency of every vertex that was never
+  // processed write-based (it was visited in a dense round, or its round's
+  // write pass was skipped entirely), then clear the mark bits everywhere.
+  t.start();
+  parallel_for(0, n, [&](size_t vi) {
+    const vertex_id v = static_cast<vertex_id>(vi);
+    const edge_id start = V[v];
+    if (!resolved[v]) {
+      const vertex_id my_label = C[v];
+      vertex_id k = 0;
+      const vertex_id deg = D[v];
+      for (vertex_id i = 0; i < deg; ++i) {
+        const vertex_id w = E[start + i];  // raw target: never relabeled
+        const vertex_id w_label = C[w];
+        if (w_label != my_label) {
+          E[start + k] = w_label;
+          ++k;
+        }
+      }
+      D[v] = k;
+    } else {
+      for (vertex_id i = 0; i < D[v]; ++i) {
+        E[start + i] = internal::unmark_edge(E[start + i]);
+      }
+    }
+  });
+  if (pt != nullptr) pt->add("filterEdges", t.lap());
+
+  res.num_rounds = round;
+  res.edges_kept =
+      parallel::reduce_sum<size_t>(n, [&](size_t v) { return D[v]; });
+  return res;
+}
+
+result decompose_arb_hybrid(const graph::graph& g, const options& opt) {
+  work_graph wg = work_graph::from(g);
+  return decomp_arb_hybrid(wg, opt, nullptr);
+}
+
+}  // namespace pcc::ldd

@@ -1,0 +1,171 @@
+// Decomp-Min (Algorithm 2 of the paper) — the faithful Miller-Peng-Xu
+// decomposition.
+//
+// Ties between BFS's reaching the same unvisited vertex in one round are
+// broken toward the center with the smaller fractional shift value: each
+// frontier vertex marks unvisited neighbours with writeMin on the pair
+// (delta'_center, center) in phase 1, and in phase 2 the winner confirms
+// the visit with a CAS and collects the neighbour onto the next frontier.
+//
+// Per the paper's engineering notes, the pair array C is kept as packed
+// 64-bit words (fractional shift in the high half) so that the pair
+// writeMin is a single-word atomic and each visit costs one cache line.
+// The "visited" mark (the paper's C1 = -1) is the reserved fractional
+// value 0; real fractional shifts are drawn from [1, 2^31), a range large
+// enough that ties have negligible probability — the paper's assumption.
+
+#include "core/ldd.hpp"
+#include "core/ldd_internal.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/random.hpp"
+
+namespace pcc::ldd {
+
+namespace {
+
+using parallel::atomic_load;
+using parallel::cas;
+using parallel::fetch_add;
+using parallel::pack_pair;
+using parallel::packed_pair;
+using parallel::pair_first;
+using parallel::pair_second;
+using parallel::parallel_for;
+using parallel::timer;
+using parallel::write_min;
+
+constexpr uint32_t kVisitedFrac = 0;
+constexpr packed_pair kUnvisited = ~packed_pair{0};  // (inf, inf)
+
+}  // namespace
+
+result decomp_min(work_graph& wg, const options& opt,
+                  parallel::phase_timer* pt) {
+  const size_t n = wg.n;
+  const std::vector<edge_id>& V = *wg.offsets;
+  std::vector<vertex_id>& E = wg.edges;
+  std::vector<vertex_id>& D = wg.degrees;
+
+  result res;
+  res.cluster.assign(n, kNoVertex);
+  if (n == 0) return res;
+
+  timer t;
+  internal::shift_schedule schedule(n, opt);
+  // delta'_v: the simulated fractional part of v's shift, used only when v
+  // becomes a BFS center. Drawn from [1, 2^31) — 0 is the visited mark.
+  const parallel::rng frac_gen = parallel::rng(opt.seed).split(11);
+  const auto frac_of = [&](vertex_id v) {
+    return 1u + static_cast<uint32_t>(frac_gen.bounded(v, (1u << 31) - 2u));
+  };
+
+  std::vector<packed_pair> C(n, kUnvisited);
+  std::vector<vertex_id> frontier;
+  std::vector<vertex_id> next(n);
+  if (pt != nullptr) pt->add("init", t.lap());
+
+  size_t num_visited = 0;
+  size_t round = 0;
+  while (num_visited < n) {
+    t.start();
+    res.num_clusters += internal::add_new_centers(
+        schedule, round, frontier,
+        [&](vertex_id v) { return C[v] == kUnvisited; },
+        [&](vertex_id v) { C[v] = pack_pair(kVisitedFrac, v); });
+    num_visited += frontier.size();
+    if (pt != nullptr) pt->add("bfsPre", t.lap());
+
+    // Phase 1 (Lines 9-23): writeMin marking of unvisited neighbours; edges
+    // to previously visited vertices are resolved immediately, edges to
+    // still-contended vertices are kept raw for phase 2.
+    parallel_for(0, frontier.size(), [&](size_t fi) {
+      const vertex_id v = frontier[fi];
+      const vertex_id my_label = pair_second(C[v]);
+      const uint32_t my_frac = frac_of(my_label);
+      const edge_id start = V[v];
+      vertex_id k = 0;
+      const vertex_id deg = D[v];
+      for (vertex_id i = 0; i < deg; ++i) {
+        const vertex_id w = E[start + i];
+        const packed_pair cw = atomic_load(&C[w]);
+        if (pair_first(cw) != kVisitedFrac) {
+          // Unvisited (or only writeMin-marked this round): compete.
+          write_min(&C[w], pack_pair(my_frac, my_label));
+          E[start + k] = w;  // status unknown until phase 2
+          ++k;
+        } else if (pair_second(cw) != my_label) {
+          // Visited in an earlier round, different cluster: inter-cluster.
+          // Relabel now and set the mark bit so phase 2 skips it.
+          E[start + k] = internal::mark_edge(pair_second(cw));
+          ++k;
+        }
+        // else: intra-cluster, deleted.
+      }
+      D[v] = k;
+    });
+    if (pt != nullptr) pt->add("bfsPhase1", t.lap());
+
+    // Phase 2 (Lines 24-39): winners confirm their visits with a CAS; all
+    // remaining raw edges are resolved.
+    size_t next_size = 0;
+    parallel_for(0, frontier.size(), [&](size_t fi) {
+      const vertex_id v = frontier[fi];
+      const vertex_id my_label = pair_second(C[v]);
+      const uint32_t my_frac = frac_of(my_label);
+      const packed_pair winning = pack_pair(my_frac, my_label);
+      const edge_id start = V[v];
+      vertex_id k = 0;
+      const vertex_id deg = D[v];
+      for (vertex_id i = 0; i < deg; ++i) {
+        const vertex_id w = E[start + i];
+        if (!internal::is_marked(w)) {
+          // Our cluster won w iff C[w] still holds our (frac, label); the
+          // CAS ensures only one frontier vertex of the cluster collects w
+          // (several may share the same winning pair).
+          if (atomic_load(&C[w]) == winning &&
+              cas(&C[w], winning, pack_pair(kVisitedFrac, my_label))) {
+            next[fetch_add<size_t>(&next_size, 1)] = w;
+            // Intra-cluster edge: deleted.
+          } else {
+            const vertex_id w_label = pair_second(atomic_load(&C[w]));
+            if (w_label != my_label) {
+              E[start + k] = internal::mark_edge(w_label);
+              ++k;
+            }
+          }
+        } else {
+          E[start + k] = w;  // resolved in phase 1, keep as-is
+          ++k;
+        }
+      }
+      D[v] = k;
+    });
+    frontier.assign(next.begin(), next.begin() + next_size);
+    if (pt != nullptr) pt->add("bfsPhase2", t.lap());
+    ++round;
+  }
+
+  // Unset the mark bits of the surviving inter-cluster edges and publish
+  // the final labels.
+  t.start();
+  parallel_for(0, n, [&](size_t v) {
+    const edge_id start = V[v];
+    for (vertex_id i = 0; i < D[v]; ++i) {
+      E[start + i] = internal::unmark_edge(E[start + i]);
+    }
+    res.cluster[v] = pair_second(C[v]);
+  });
+  if (pt != nullptr) pt->add("bfsPost", t.lap());
+
+  res.num_rounds = round;
+  res.edges_kept =
+      parallel::reduce_sum<size_t>(n, [&](size_t v) { return D[v]; });
+  return res;
+}
+
+result decompose_min(const graph::graph& g, const options& opt) {
+  work_graph wg = work_graph::from(g);
+  return decomp_min(wg, opt, nullptr);
+}
+
+}  // namespace pcc::ldd

@@ -1,0 +1,106 @@
+// Decomposition quality measurement (test oracle + decomposition_demo).
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/ldd.hpp"
+#include "graph/stats.hpp"
+
+namespace pcc::ldd {
+
+decomposition_quality check_decomposition(
+    const graph::graph& g, const std::vector<vertex_id>& cluster) {
+  decomposition_quality q;
+  const size_t n = g.num_vertices();
+  if (cluster.size() != n) return q;
+
+  // Well-formedness: every vertex labeled, every label is a center that
+  // labels itself.
+  for (size_t v = 0; v < n; ++v) {
+    const vertex_id c = cluster[v];
+    if (c == kNoVertex || c >= n || cluster[c] != c) return q;
+  }
+
+  // Group vertices by cluster.
+  std::unordered_map<vertex_id, std::vector<vertex_id>> members;
+  for (size_t v = 0; v < n; ++v) {
+    members[cluster[v]].push_back(static_cast<vertex_id>(v));
+  }
+  q.num_clusters = members.size();
+
+  // Inter-cluster edge count (directed, over the original graph).
+  size_t inter = 0;
+  for (size_t u = 0; u < n; ++u) {
+    for (vertex_id w : g.neighbors(static_cast<vertex_id>(u))) {
+      if (cluster[u] != cluster[w]) ++inter;
+    }
+  }
+  q.inter_cluster_edges = inter;
+  q.inter_cluster_fraction =
+      g.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(inter) / static_cast<double>(g.num_edges());
+
+  // Connectivity and diameter of each cluster, by BFS restricted to the
+  // cluster. Diameter is measured exactly (all-pairs via per-vertex BFS)
+  // for small clusters and lower-bounded by double-sweep for large ones;
+  // either way a violation of the O(log n / beta) bound would show up.
+  std::vector<uint32_t> dist(n);
+  std::vector<vertex_id> queue;
+  const auto bfs_within = [&](vertex_id source, const vertex_id label,
+                              size_t* reached) {
+    // Returns eccentricity of source inside its cluster.
+    constexpr uint32_t kInf = ~0u;
+    queue.clear();
+    queue.push_back(source);
+    dist[source] = 0;
+    size_t count = 1;
+    uint32_t ecc = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const vertex_id u = queue[head];
+      for (vertex_id w : g.neighbors(u)) {
+        if (cluster[w] == label && dist[w] == kInf) {
+          dist[w] = dist[u] + 1;
+          ecc = std::max(ecc, dist[w]);
+          ++count;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (reached != nullptr) *reached = count;
+    return ecc;
+  };
+
+  constexpr size_t kExactDiameterLimit = 256;
+  std::fill(dist.begin(), dist.end(), ~0u);
+  for (const auto& [label, verts] : members) {
+    size_t reached = 0;
+    uint32_t ecc = bfs_within(label, label, &reached);
+    if (reached != verts.size()) return q;  // cluster not connected
+    size_t diameter = ecc;
+    if (verts.size() <= kExactDiameterLimit) {
+      for (vertex_id s : verts) {
+        for (vertex_id u : verts) dist[u] = ~0u;
+        diameter = std::max<size_t>(diameter, bfs_within(s, label, nullptr));
+      }
+    } else {
+      // Double sweep from the farthest vertex found.
+      vertex_id far = label;
+      uint32_t best = 0;
+      for (vertex_id u : verts) {
+        if (dist[u] != ~0u && dist[u] >= best) {
+          best = dist[u];
+          far = u;
+        }
+      }
+      for (vertex_id u : verts) dist[u] = ~0u;
+      diameter = std::max<size_t>(diameter, bfs_within(far, label, nullptr));
+    }
+    for (vertex_id u : verts) dist[u] = ~0u;
+    q.max_cluster_diameter = std::max(q.max_cluster_diameter, diameter);
+  }
+  q.well_formed = true;
+  return q;
+}
+
+}  // namespace pcc::ldd

@@ -1,0 +1,117 @@
+// Low-diameter decomposition (LDD) — the paper's core subroutine.
+//
+// Public API for the three decomposition variants of Section 4:
+//   decomp_min        — Algorithm 2, the faithful Miller-Peng-Xu
+//                       decomposition: writeMin on (fractional-shift,
+//                       center) pairs, two phases per BFS frontier.
+//   decomp_arb        — Algorithm 3, ties broken arbitrarily: one CAS
+//                       phase per frontier (Theorem 2: <= 2*beta*m
+//                       inter-cluster edges in expectation).
+//   decomp_arb_hybrid — decomp_arb with direction-optimizing (read-based)
+//                       traversal on dense frontiers plus a post-pass
+//                       (filterEdges) that resolves edge statuses.
+//
+// All variants run on a `work_graph`: a mutable copy of the edge array plus
+// per-vertex degrees, so intra-cluster edges can be deleted in place by
+// compacting each vertex's adjacency prefix — exactly the paper's scheme.
+// On return, for every vertex v the first degrees[v] entries of its
+// adjacency hold its inter-cluster edges with targets already relabeled to
+// the target's cluster id.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "parallel/timer.hpp"
+
+namespace pcc::ldd {
+
+// How vertices acquire their start times (shift values).
+enum class shift_mode {
+  // Paper default: random permutation; round t makes centers out of the
+  // first ceil(e^{beta*t}) permutation entries not yet visited.
+  kPermutationChunks,
+  // Ablation: exact Exp(beta) shifts; round t starts the unvisited
+  // vertices with floor(shift) == t.
+  kExponentialShifts,
+};
+
+struct options {
+  // Decomposition parameter: cluster radius O(log n / beta), expected
+  // inter-cluster edge fraction beta (2*beta for the Arb variants).
+  double beta = 0.2;
+  shift_mode shifts = shift_mode::kPermutationChunks;
+  uint64_t seed = 42;
+  // decomp_arb_hybrid switches to the read-based (dense) traversal when the
+  // frontier holds more than this fraction of the vertices (paper: 20%).
+  double dense_threshold = 0.2;
+  // Section 4 of the paper: "for high-degree vertices... the inner
+  // sequential for-loops over the neighbours can be replaced with a
+  // parallel for-loop, marking the deleted edges with a special value and
+  // packing the edges with a parallel prefix sums". Frontier vertices with
+  // degree above this threshold take that path in decomp_arb. Default off
+  // (the paper saw no improvement at 40 cores); exposed for wide machines
+  // and covered by the ablation bench.
+  size_t parallel_edge_threshold = SIZE_MAX;
+};
+
+struct result {
+  // cluster[v] = id of v's cluster = the vertex id of its BFS center.
+  std::vector<vertex_id> cluster;
+  size_t num_clusters = 0;
+  // BFS rounds executed (bounded by O(log n / beta) w.h.p.).
+  size_t num_rounds = 0;
+  // Rounds run with the read-based traversal (hybrid only).
+  size_t num_dense_rounds = 0;
+  // Directed inter-cluster edges kept (sum of post-run degrees).
+  size_t edges_kept = 0;
+};
+
+// Mutable view of a graph consumed by a decomposition.
+struct work_graph {
+  size_t n = 0;
+  const std::vector<edge_id>* offsets = nullptr;  // borrowed, size n+1
+  std::vector<vertex_id> edges;                   // mutable copy
+  std::vector<vertex_id> degrees;                 // mutable, size n
+
+  static work_graph from(const graph::graph& g);
+};
+
+// The three decomposition variants. `pt` (optional) accumulates per-phase
+// times under the names used by Figures 5-7: "init", "bfsPre", "bfsPhase1",
+// "bfsPhase2" (min); "bfsMain" (arb); "bfsSparse", "bfsDense",
+// "filterEdges" (hybrid).
+result decomp_min(work_graph& wg, const options& opt,
+                  parallel::phase_timer* pt = nullptr);
+result decomp_arb(work_graph& wg, const options& opt,
+                  parallel::phase_timer* pt = nullptr);
+result decomp_arb_hybrid(work_graph& wg, const options& opt,
+                         parallel::phase_timer* pt = nullptr);
+
+// Non-destructive convenience wrappers: copy the graph's edges into a
+// work_graph, run the variant, and return only the clustering.
+result decompose_min(const graph::graph& g, const options& opt = {});
+result decompose_arb(const graph::graph& g, const options& opt = {});
+result decompose_arb_hybrid(const graph::graph& g, const options& opt = {});
+
+// --- Decomposition quality checks (tests + decomposition_demo example). ---
+
+struct decomposition_quality {
+  size_t num_clusters = 0;
+  // Every cluster induced-connected and every vertex labeled with a center
+  // whose cluster[center] == center.
+  bool well_formed = false;
+  // Largest shortest-path diameter among clusters (exact BFS per cluster;
+  // O(n * cluster_size) — test-scale only).
+  size_t max_cluster_diameter = 0;
+  // Inter-cluster directed edges / total directed edges, measured on the
+  // ORIGINAL graph.
+  double inter_cluster_fraction = 0.0;
+  size_t inter_cluster_edges = 0;
+};
+
+decomposition_quality check_decomposition(const graph::graph& g,
+                                          const std::vector<vertex_id>& cluster);
+
+}  // namespace pcc::ldd

@@ -1,0 +1,152 @@
+// Shared internals of the decomposition variants: the shift-value schedule
+// and the edge-marking helpers. Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/ldd.hpp"
+#include "parallel/integer_sort.hpp"
+#include "parallel/random.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::ldd::internal {
+
+// Sign-bit marking of edge entries (paper: "sets the sign bit of the value
+// (negates it and subtracts 1)"). With 31-bit vertex ids we use the top bit
+// of the uint32 entry.
+inline constexpr vertex_id kEdgeMark = vertex_id{1} << 31;
+inline constexpr vertex_id mark_edge(vertex_id label) { return label | kEdgeMark; }
+inline constexpr vertex_id unmark_edge(vertex_id e) { return e & ~kEdgeMark; }
+inline constexpr bool is_marked(vertex_id e) { return (e & kEdgeMark) != 0; }
+
+// Produces, per BFS round, the batch of vertices whose shift value falls in
+// [round, round+1) — the candidates to become new BFS centers (those still
+// unvisited actually start one).
+//
+// kPermutationChunks simulates the exponential shifts as the paper
+// describes: a random permutation is generated in parallel and round t
+// takes the prefix of size ceil(e^{beta*t}) (so chunk sizes grow
+// exponentially); round 0 always starts exactly one BFS.
+//
+// kExponentialShifts draws delta_v ~ Exp(beta) exactly, buckets vertices by
+// floor(delta_v) with one integer sort, and serves bucket t at round t.
+class shift_schedule {
+ public:
+  shift_schedule(size_t n, const options& opt) : n_(n) {
+    if (opt.shifts == shift_mode::kPermutationChunks) {
+      order_ = parallel::random_permutation(n, opt.seed);
+      beta_ = opt.beta;
+    } else {
+      // Exact shifts: delta_v ~ Exp(beta); the BFS of v starts at time
+      // delta_max - delta_v (the largest shift starts first — this reversal
+      // is what makes the number of active BFS's grow exponentially, which
+      // the permutation-chunk mode simulates). Bucket vertices by
+      // floor(start time) with one integer sort.
+      const parallel::rng gen = parallel::rng(opt.seed).split(7);
+      std::vector<double> delta(n);
+      parallel::parallel_for(0, n, [&](size_t v) {
+        delta[v] = gen.exponential(v, opt.beta);
+      });
+      const double delta_max = parallel::reduce_max<double>(
+          n, [&](size_t v) { return delta[v]; }, 0.0);
+      std::vector<std::pair<uint32_t, vertex_id>> keyed(n);
+      parallel::parallel_for(0, n, [&](size_t v) {
+        const double start = std::max(0.0, delta_max - delta[v]);
+        keyed[v] = {static_cast<uint32_t>(std::min(start, 4.0e9)),
+                    static_cast<vertex_id>(v)};
+      });
+      uint32_t max_floor = parallel::reduce_max<uint32_t>(
+          n, [&](size_t i) { return keyed[i].first; }, 0);
+      parallel::integer_sort(
+          keyed, parallel::bits_needed(static_cast<uint64_t>(max_floor) + 1),
+          [](const auto& p) { return p.first; });
+      order_.resize(n);
+      bucket_end_.assign(static_cast<size_t>(max_floor) + 2, 0);
+      parallel::parallel_for(0, n, [&](size_t i) {
+        order_[i] = keyed[i].second;
+      });
+      // bucket_end_[t] = first index with floor > t (sequential; #buckets
+      // is O(log n / beta)).
+      size_t i = 0;
+      for (size_t t = 0; t + 1 < bucket_end_.size(); ++t) {
+        while (i < n && keyed[i].first <= t) ++i;
+        bucket_end_[t] = i;
+      }
+      bucket_end_.back() = n;
+    }
+  }
+
+  // Vertices whose shift lies in [round, round+1), as a subrange of the
+  // internal order array. Returns {begin_index, end_index}.
+  std::pair<size_t, size_t> batch(size_t round) const {
+    if (bucket_end_.empty()) {
+      // Permutation chunks: by the end of round t the first
+      // ceil(e^{beta*t}) permutation entries have been offered, so round 0
+      // starts exactly one BFS and chunk sizes grow by e^beta per round.
+      const size_t end = chunk_prefix(round);
+      const size_t begin = round == 0 ? 0 : chunk_prefix(round - 1);
+      return {begin, end};
+    }
+    const size_t t = std::min(round, bucket_end_.size() - 1);
+    const size_t begin = t == 0 ? 0 : bucket_end_[t - 1];
+    return {begin, bucket_end_[t]};
+  }
+
+  vertex_id vertex_at(size_t i) const { return order_[i]; }
+
+  // True when every vertex has been offered as a center candidate.
+  bool exhausted(size_t round) const { return batch(round).second >= n_; }
+
+ private:
+  // Number of permutation entries offered by the START of `round`:
+  // ceil(e^{beta * round}), clamped to n; round 0 offers exactly 1 center.
+  size_t chunk_prefix(size_t round) const {
+    const double expo = beta_ * static_cast<double>(round);
+    if (expo > std::log(static_cast<double>(n_) + 1.0) + 1.0) return n_;
+    return std::min(n_, static_cast<size_t>(std::ceil(std::exp(expo))));
+  }
+
+  size_t n_;
+  double beta_ = 0.0;
+  std::vector<vertex_id> order_;
+  std::vector<size_t> bucket_end_;  // non-empty iff exponential mode
+};
+
+// Append the unvisited members of this round's batch as new BFS centers:
+// sets visited-state via `make_center(v)` and pushes v onto `frontier`.
+// Candidates within one batch are distinct (they come from a permutation),
+// so no synchronization is needed against each other; the caller guarantees
+// phase separation from edge processing.
+template <typename IsUnvisited, typename MakeCenter>
+size_t add_new_centers(const shift_schedule& sched, size_t round,
+                       std::vector<vertex_id>& frontier,
+                       IsUnvisited&& is_unvisited, MakeCenter&& make_center) {
+  const auto [begin, end] = sched.batch(round);
+  if (begin >= end) return 0;
+  const size_t base = frontier.size();
+  frontier.resize(base + (end - begin));
+  // Two-pass pack keeps the frontier deterministic: flag, scan, scatter.
+  std::vector<uint8_t> flags(end - begin);
+  parallel::parallel_for(begin, end, [&](size_t i) {
+    const vertex_id v = sched.vertex_at(i);
+    flags[i - begin] = is_unvisited(v) ? 1 : 0;
+  });
+  std::vector<size_t> pos;
+  const size_t added = parallel::scan_exclusive_into(
+      flags.size(), [&](size_t i) { return static_cast<size_t>(flags[i]); },
+      pos);
+  parallel::parallel_for(begin, end, [&](size_t i) {
+    if (flags[i - begin]) {
+      const vertex_id v = sched.vertex_at(i);
+      make_center(v);
+      frontier[base + pos[i - begin]] = v;
+    }
+  });
+  frontier.resize(base + added);
+  return added;
+}
+
+}  // namespace pcc::ldd::internal

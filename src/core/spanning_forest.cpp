@@ -1,0 +1,227 @@
+// Witness-carrying variant of the decompose-contract pipeline (see
+// spanning_forest.hpp). Self-contained: it mirrors decomp_arb and contract
+// but threads a per-edge witness (an original-graph edge) through both, so
+// the main connectivity path stays lean.
+
+#include "core/spanning_forest.hpp"
+
+#include <cassert>
+
+#include "baselines/union_find.hpp"
+#include "core/ldd.hpp"
+#include "core/ldd_internal.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/hash_map.hpp"
+#include "parallel/integer_sort.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::cc {
+
+namespace {
+
+using parallel::atomic_load;
+using parallel::cas;
+using parallel::fetch_add;
+using parallel::parallel_for;
+
+inline uint64_t pack_witness(graph::edge e) {
+  return (static_cast<uint64_t>(e.first) << 32) | e.second;
+}
+inline graph::edge unpack_witness(uint64_t w) {
+  return {static_cast<vertex_id>(w >> 32), static_cast<vertex_id>(w)};
+}
+
+// A level graph: CSR plus, for every directed edge slot, the original edge
+// that realizes it.
+struct witness_graph {
+  size_t n = 0;
+  std::vector<edge_id> offsets;    // size n+1
+  std::vector<vertex_id> targets;  // mutable (compacted by the decomp)
+  std::vector<uint64_t> witness;   // parallel to targets
+  std::vector<vertex_id> degrees;  // live prefix of each adjacency
+};
+
+witness_graph level0(const graph::graph& g) {
+  witness_graph wg;
+  wg.n = g.num_vertices();
+  wg.offsets = g.offsets();
+  wg.targets = g.edges();
+  wg.witness.resize(g.num_edges());
+  wg.degrees.resize(wg.n);
+  parallel_for(0, wg.n, [&](size_t v) {
+    wg.degrees[v] = g.degree(static_cast<vertex_id>(v));
+    const edge_id start = wg.offsets[v];
+    for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
+      wg.witness[start + i] = pack_witness(
+          {static_cast<vertex_id>(v), wg.targets[start + i]});
+    }
+  });
+  return wg;
+}
+
+// Decomp-Arb over a witness graph. Claim edges contribute their witnesses
+// to `forest`; kept inter-cluster edges are compacted in place (targets
+// relabeled to cluster ids, witnesses carried).
+ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
+                          std::vector<uint64_t>& forest) {
+  const size_t n = wg.n;
+  ldd::result res;
+  res.cluster.assign(n, kNoVertex);
+  if (n == 0) return res;
+  std::vector<vertex_id>& C = res.cluster;
+
+  ldd::internal::shift_schedule schedule(n, opt);
+  std::vector<vertex_id> frontier;
+  std::vector<vertex_id> next(n);
+  // Claim-edge witnesses, collected race-free: at most n claims happen in
+  // one decomposition (each vertex is claimed once).
+  std::vector<uint64_t> claims(n);
+  size_t num_claims = 0;
+
+  size_t num_visited = 0;
+  size_t round = 0;
+  while (num_visited < n) {
+    res.num_clusters += ldd::internal::add_new_centers(
+        schedule, round, frontier,
+        [&](vertex_id v) { return C[v] == kNoVertex; },
+        [&](vertex_id v) { C[v] = v; });
+    num_visited += frontier.size();
+
+    size_t next_size = 0;
+    parallel_for(0, frontier.size(), [&](size_t fi) {
+      const vertex_id v = frontier[fi];
+      const vertex_id my_label = C[v];
+      const edge_id start = wg.offsets[v];
+      vertex_id k = 0;
+      const vertex_id deg = wg.degrees[v];
+      for (vertex_id i = 0; i < deg; ++i) {
+        const vertex_id w = wg.targets[start + i];
+        if (atomic_load(&C[w]) == kNoVertex &&
+            cas(&C[w], kNoVertex, my_label)) {
+          next[fetch_add<size_t>(&next_size, 1)] = w;
+          // Claim edge: a BFS-tree edge of this cluster. Its witness is an
+          // original edge and joins the forest.
+          claims[fetch_add<size_t>(&num_claims, 1)] = wg.witness[start + i];
+        } else {
+          const vertex_id w_label = atomic_load(&C[w]);
+          if (w_label != my_label) {
+            wg.targets[start + k] = w_label;
+            wg.witness[start + k] = wg.witness[start + i];
+            ++k;
+          }
+        }
+      }
+      wg.degrees[v] = k;
+    });
+    frontier.assign(next.begin(), next.begin() + next_size);
+    ++round;
+  }
+  res.num_rounds = round;
+  res.edges_kept = parallel::reduce_sum<size_t>(
+      n, [&](size_t v) { return wg.degrees[v]; });
+  forest.insert(forest.end(), claims.begin(), claims.begin() + num_claims);
+  return res;
+}
+
+}  // namespace
+
+std::vector<graph::edge> spanning_forest(const graph::graph& g,
+                                         const sf_options& opt) {
+  witness_graph wg = level0(g);
+  std::vector<uint64_t> forest;
+  forest.reserve(g.num_vertices());
+
+  for (size_t level = 0; wg.n > 0; ++level) {
+    ldd::options dopt;
+    dopt.beta = opt.beta;
+    dopt.seed = parallel::hash64(opt.seed + 0x51ab * (level + 1));
+    if (level >= opt.max_levels) {
+      // Safety net (mirrors connected_components): finish sequentially.
+      baselines::union_find uf(wg.n);
+      for (size_t v = 0; v < wg.n; ++v) {
+        const edge_id start = wg.offsets[v];
+        for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
+          if (uf.unite(static_cast<vertex_id>(v), wg.targets[start + i])) {
+            forest.push_back(wg.witness[start + i]);
+          }
+        }
+      }
+      break;
+    }
+
+    const ldd::result dec = decomp_arb_sf(wg, dopt, forest);
+    if (dec.edges_kept == 0) break;
+
+    // Contract with witnesses: one surviving (src, tgt) cluster pair keeps
+    // one witness (any edge realizing the pair is a valid forest edge).
+    std::vector<uint8_t> has_edge(wg.n, 0);
+    parallel_for(0, wg.n, [&](size_t v) {
+      if (wg.degrees[v] > 0) has_edge[dec.cluster[v]] = 1;
+      const edge_id start = wg.offsets[v];
+      for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
+        has_edge[wg.targets[start + i]] = 1;
+      }
+    });
+    std::vector<size_t> center_rank;
+    const size_t k = parallel::scan_exclusive_into(
+        wg.n,
+        [&](size_t c) {
+          return (dec.cluster[c] == c && has_edge[c]) ? size_t{1} : size_t{0};
+        },
+        center_rank);
+    std::vector<vertex_id> new_id(wg.n, kNoVertex);
+    parallel_for(0, wg.n, [&](size_t c) {
+      if (dec.cluster[c] == c && has_edge[c]) {
+        new_id[c] = static_cast<vertex_id>(center_rank[c]);
+      }
+    });
+
+    // Dedup (src, tgt) pairs, keeping a witness each.
+    parallel::hash_map64 dedup(dec.edges_kept);
+    parallel_for(0, wg.n, [&](size_t v) {
+      const vertex_id src = new_id[dec.cluster[v]];
+      const edge_id start = wg.offsets[v];
+      for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
+        const vertex_id tgt = new_id[wg.targets[start + i]];
+        dedup.insert((static_cast<uint64_t>(src) << 32) | tgt,
+                     wg.witness[start + i]);
+      }
+    });
+    auto pairs = dedup.elements();
+
+    // Sort by (src, tgt) and rebuild the next witness_graph.
+    const int b = parallel::bits_needed(k == 0 ? 1 : k);
+    const uint64_t tmask = b >= 32 ? ~uint32_t{0} : (uint64_t{1} << b) - 1;
+    parallel::integer_sort(pairs, 2 * b, [b, tmask](const auto& p) {
+      return ((p.first >> 32) << b) | (p.first & tmask);
+    });
+
+    witness_graph next;
+    next.n = k;
+    next.offsets.assign(k + 1, 0);
+    next.targets.resize(pairs.size());
+    next.witness.resize(pairs.size());
+    next.degrees.assign(k, 0);
+    parallel_for(0, pairs.size(), [&](size_t i) {
+      const vertex_id src = static_cast<vertex_id>(pairs[i].first >> 32);
+      next.targets[i] = static_cast<vertex_id>(pairs[i].first);
+      next.witness[i] = pairs[i].second;
+      fetch_add<vertex_id>(&next.degrees[src], 1);
+    });
+    std::vector<size_t> offs;
+    parallel::scan_exclusive_into(
+        k, [&](size_t v) { return static_cast<size_t>(next.degrees[v]); },
+        offs);
+    parallel_for(0, k, [&](size_t v) { next.offsets[v] = offs[v]; });
+    next.offsets[k] = pairs.size();
+    wg = std::move(next);
+  }
+
+  std::vector<graph::edge> out(forest.size());
+  parallel_for(0, forest.size(),
+               [&](size_t i) { out[i] = unpack_witness(forest[i]); });
+  return out;
+}
+
+}  // namespace pcc::cc

@@ -1,0 +1,34 @@
+// Decomposition-based parallel spanning forest — an extension the paper
+// points at (its baselines ARE spanning-forest codes, and footnote 1 notes
+// the SF <-> CC reduction).
+//
+// The same decompose-contract recursion that labels components also yields
+// a spanning forest in expected linear work and polylog depth: within each
+// decomposition level, the BFS claim edges form a tree of every cluster;
+// across levels, each contracted edge carries a *witness* (an edge of the
+// ORIGINAL graph connecting the two clusters), so the recursion's tree
+// edges pull back to original edges. The union over all levels of
+// (cluster BFS trees + pulled-back recursive forest) is a spanning forest:
+// per level it adds n_l - (#clusters_l) + F(G_l+1) edges, telescoping to
+// n - #components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pcc::cc {
+
+struct sf_options {
+  double beta = 0.2;
+  uint64_t seed = 42;
+  size_t max_levels = 128;
+};
+
+// Returns the edges of a spanning forest of g, as (u, v) pairs of original
+// vertex ids; exactly n - (#components) edges.
+std::vector<graph::edge> spanning_forest(const graph::graph& g,
+                                         const sf_options& opt = {});
+
+}  // namespace pcc::cc

@@ -1,0 +1,108 @@
+#include "graph/builder.hpp"
+
+#include <cassert>
+
+#include "parallel/atomics.hpp"
+#include "parallel/integer_sort.hpp"
+#include "parallel/random.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::graph {
+
+namespace {
+
+using parallel::parallel_for;
+
+// Pack a directed edge into one 64-bit key so one radix sort orders the
+// whole list by (source, target).
+inline uint64_t pack_edge(vertex_id u, vertex_id v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+inline vertex_id edge_src(uint64_t p) { return static_cast<vertex_id>(p >> 32); }
+inline vertex_id edge_tgt(uint64_t p) { return static_cast<vertex_id>(p); }
+
+// CSR from a (source, target)-sorted, deduplicated packed edge array.
+graph csr_from_sorted(size_t n, const std::vector<uint64_t>& sorted) {
+  const size_t m = sorted.size();
+  // counts[u] = out-degree of u.
+  std::vector<edge_id> counts(n, 0);
+  parallel_for(0, m, [&](size_t i) {
+    parallel::fetch_add<edge_id>(&counts[edge_src(sorted[i])], 1);
+  });
+  std::vector<edge_id> offsets(n + 1);
+  edge_id total = 0;
+  std::vector<edge_id> scanned;
+  total = parallel::scan_exclusive_into(
+      n, [&](size_t i) { return counts[i]; }, scanned);
+  parallel_for(0, n, [&](size_t i) { offsets[i] = scanned[i]; });
+  offsets[n] = total;
+  assert(total == m);
+  std::vector<vertex_id> edges(m);
+  parallel_for(0, m, [&](size_t i) { edges[i] = edge_tgt(sorted[i]); });
+  return graph(std::move(offsets), std::move(edges));
+}
+
+}  // namespace
+
+graph from_edges(size_t n, edge_list edges, const build_options& opt) {
+  assert(n <= kMaxVertices);
+  const size_t m_in = edges.size();
+
+  std::vector<uint64_t> packed;
+  packed.resize(opt.symmetrize ? 2 * m_in : m_in);
+  parallel_for(0, m_in, [&](size_t i) {
+    const auto [u, v] = edges[i];
+    assert(u < n && v < n);
+    packed[i] = pack_edge(u, v);
+    if (opt.symmetrize) packed[m_in + i] = pack_edge(v, u);
+  });
+  edges.clear();
+  edges.shrink_to_fit();
+
+  if (opt.remove_self_loops) {
+    packed = parallel::filter(
+        packed, [](uint64_t p) { return edge_src(p) != edge_tgt(p); });
+  }
+
+  // Sort by (source, target). The packed key keeps source in the high
+  // 32 bits, so compact it through an extractor: a plain low-bits radix
+  // sort would never reach the source field.
+  const int b = parallel::bits_needed(n == 0 ? 1 : n);
+  const uint64_t tmask = b >= 32 ? ~uint32_t{0} : (uint64_t{1} << b) - 1;
+  parallel::integer_sort(packed, 2 * b, [b, tmask](uint64_t p) {
+    return ((p >> 32) << b) | (p & tmask);
+  });
+
+  if (opt.remove_duplicates) {
+    packed = parallel::pack(packed, [&](size_t i) {
+      return i == 0 || packed[i] != packed[i - 1];
+    });
+  }
+  return csr_from_sorted(n, packed);
+}
+
+graph from_sorted_pairs(size_t n, const std::vector<uint64_t>& packed_pairs) {
+  return csr_from_sorted(n, packed_pairs);
+}
+
+graph relabel_randomly(const graph& g, uint64_t seed) {
+  const size_t n = g.num_vertices();
+  const std::vector<vertex_id> perm = parallel::random_permutation(n, seed);
+  // perm[old] = new id.
+  edge_list edges(g.num_edges());
+  parallel_for(0, n, [&](size_t u) {
+    const edge_id base = g.offset(static_cast<vertex_id>(u));
+    const auto nbrs = g.neighbors(static_cast<vertex_id>(u));
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      edges[base + j] = {perm[u], perm[nbrs[j]]};
+    }
+  });
+  // Both directions are already present in the source graph.
+  return from_edges(n, std::move(edges),
+                    {.symmetrize = false,
+                     .remove_self_loops = false,
+                     .remove_duplicates = false});
+}
+
+}  // namespace pcc::graph

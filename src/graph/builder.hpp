@@ -1,0 +1,33 @@
+// Edge-list -> CSR builder.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace pcc::graph {
+
+struct build_options {
+  // Add the reverse of every edge so the CSR stores both directions.
+  bool symmetrize = true;
+  // Drop (u, u) edges.
+  bool remove_self_loops = true;
+  // Drop duplicate directed edges after symmetrization.
+  bool remove_duplicates = true;
+};
+
+// Build a CSR graph over vertices [0, n) from a directed edge list.
+// Runs in parallel: radix sort by (source, target), adjacent dedup, and a
+// scan for the offsets. Edges referencing vertices >= n are invalid
+// (asserted in debug builds).
+graph from_edges(size_t n, edge_list edges, const build_options& opt = {});
+
+// Build directly from sorted CSR pieces without checks (internal use by
+// contraction, which guarantees its invariants).
+graph from_sorted_pairs(size_t n, const std::vector<uint64_t>& packed_pairs);
+
+// Apply a random permutation to the vertex ids of g (the paper randomly
+// assigns vertex labels of the synthetic inputs to destroy memory locality).
+graph relabel_randomly(const graph& g, uint64_t seed);
+
+}  // namespace pcc::graph

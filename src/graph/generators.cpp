@@ -1,0 +1,228 @@
+#include "graph/generators.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "parallel/random.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pcc::graph {
+
+namespace {
+using parallel::parallel_for;
+using parallel::rng;
+}  // namespace
+
+graph random_graph(size_t n, size_t degree, uint64_t seed) {
+  if (n == 0) return empty_graph(0);
+  rng gen(seed);
+  edge_list edges(n * degree);
+  parallel_for(0, n, [&](size_t u) {
+    for (size_t j = 0; j < degree; ++j) {
+      edges[u * degree + j] = {static_cast<vertex_id>(u),
+                               static_cast<vertex_id>(gen.bounded(u * degree + j, n))};
+    }
+  });
+  return from_edges(n, std::move(edges));
+}
+
+graph rmat_graph(size_t n, size_t num_edges, uint64_t seed,
+                 const rmat_options& opt) {
+  if (n == 0) return empty_graph(0);
+  int levels = 0;
+  while ((size_t{1} << levels) < n) ++levels;
+  const size_t side = size_t{1} << levels;
+
+  rng gen(seed);
+  edge_list edges(num_edges);
+  parallel_for(0, num_edges, [&](size_t e) {
+    uint64_t u = 0;
+    uint64_t v = 0;
+    const rng egen = gen.split(e);
+    for (int level = 0; level < levels; ++level) {
+      double a = opt.a;
+      double b = opt.b;
+      double c = opt.c;
+      if (opt.noise) {
+        // +-10% multiplicative noise per level, renormalized; keeps the
+        // power law while avoiding the lockstep artifacts of pure R-MAT.
+        const double na = 0.9 + 0.2 * egen.uniform01(4 * level + 1);
+        const double nb = 0.9 + 0.2 * egen.uniform01(4 * level + 2);
+        const double nc = 0.9 + 0.2 * egen.uniform01(4 * level + 3);
+        const double nd = 0.9 + 0.2 * egen.uniform01(4 * level + 4);
+        const double d = (1.0 - opt.a - opt.b - opt.c) * nd;
+        const double norm = opt.a * na + opt.b * nb + opt.c * nc + d;
+        a = opt.a * na / norm;
+        b = opt.b * nb / norm;
+        c = opt.c * nc / norm;
+      }
+      const double r = egen.uniform01(4 * level);
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    edges[e] = {static_cast<vertex_id>(u % n), static_cast<vertex_id>(v % n)};
+  });
+  (void)side;
+  return from_edges(n, std::move(edges));
+}
+
+graph grid3d_graph(size_t n, bool randomize_labels, uint64_t seed) {
+  if (n == 0) return empty_graph(0);
+  const size_t side = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(std::cbrt(static_cast<double>(n)))));
+  const size_t total = side * side * side;
+  if (side < 2) return empty_graph(total);
+  edge_list edges(3 * total);
+  const auto id = [&](size_t x, size_t y, size_t z) {
+    return static_cast<vertex_id>((x * side + y) * side + z);
+  };
+  parallel_for(0, total, [&](size_t i) {
+    const size_t z = i % side;
+    const size_t y = (i / side) % side;
+    const size_t x = i / (side * side);
+    // One direction per dimension (torus wrap); symmetrization adds the
+    // reverse, giving the six neighbours of the paper's description.
+    edges[3 * i + 0] = {id(x, y, z), id((x + 1) % side, y, z)};
+    edges[3 * i + 1] = {id(x, y, z), id(x, (y + 1) % side, z)};
+    edges[3 * i + 2] = {id(x, y, z), id(x, y, (z + 1) % side)};
+  });
+  graph g = from_edges(total, std::move(edges));
+  return randomize_labels ? relabel_randomly(g, seed) : g;
+}
+
+graph line_graph(size_t n, bool randomize_labels, uint64_t seed) {
+  if (n <= 1) return empty_graph(n);
+  edge_list edges(n - 1);
+  parallel_for(0, n - 1, [&](size_t i) {
+    edges[i] = {static_cast<vertex_id>(i), static_cast<vertex_id>(i + 1)};
+  });
+  graph g = from_edges(n, std::move(edges));
+  return randomize_labels ? relabel_randomly(g, seed) : g;
+}
+
+graph social_network_like(size_t n, uint64_t seed) {
+  // com-Orkut: 3.07M vertices, 117M undirected edges => ratio ~38.
+  const size_t m = 38 * n;
+  graph g = rmat_graph(n, m, seed, {.a = 0.57, .b = 0.19, .c = 0.19});
+  return relabel_randomly(g, seed + 1);
+}
+
+graph empty_graph(size_t n) {
+  return graph(std::vector<edge_id>(n + 1, 0), {});
+}
+
+graph cycle_graph(size_t n) {
+  assert(n >= 3);
+  edge_list edges(n);
+  for (size_t i = 0; i < n; ++i) {
+    edges[i] = {static_cast<vertex_id>(i), static_cast<vertex_id>((i + 1) % n)};
+  }
+  return from_edges(n, std::move(edges));
+}
+
+graph star_graph(size_t n) {
+  if (n == 0) return empty_graph(0);
+  edge_list edges;
+  edges.reserve(n - 1);
+  for (size_t i = 1; i < n; ++i) {
+    edges.push_back({0, static_cast<vertex_id>(i)});
+  }
+  return from_edges(n, std::move(edges));
+}
+
+graph complete_graph(size_t n) {
+  edge_list edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      edges.push_back({static_cast<vertex_id>(i), static_cast<vertex_id>(j)});
+    }
+  }
+  return from_edges(n, std::move(edges));
+}
+
+graph binary_tree_graph(size_t n) {
+  edge_list edges;
+  for (size_t i = 1; i < n; ++i) {
+    edges.push_back({static_cast<vertex_id>((i - 1) / 2), static_cast<vertex_id>(i)});
+  }
+  return from_edges(n, std::move(edges));
+}
+
+graph grid2d_graph(size_t rows, size_t cols) {
+  edge_list edges;
+  const auto id = [&](size_t r, size_t c) {
+    return static_cast<vertex_id>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+    }
+  }
+  return from_edges(rows * cols, std::move(edges));
+}
+
+graph cliques_with_bridges(size_t count, size_t clique_size) {
+  edge_list edges;
+  const size_t n = count * clique_size;
+  for (size_t k = 0; k < count; ++k) {
+    const size_t base = k * clique_size;
+    for (size_t i = 0; i < clique_size; ++i) {
+      for (size_t j = i + 1; j < clique_size; ++j) {
+        edges.push_back({static_cast<vertex_id>(base + i),
+                         static_cast<vertex_id>(base + j)});
+      }
+    }
+    if (k + 1 < count) {
+      edges.push_back({static_cast<vertex_id>(base + clique_size - 1),
+                       static_cast<vertex_id>(base + clique_size)});
+    }
+  }
+  return from_edges(n, std::move(edges));
+}
+
+graph disjoint_union(const std::vector<graph>& parts) {
+  size_t n = 0;
+  edge_list edges;
+  for (const graph& g : parts) {
+    for (size_t u = 0; u < g.num_vertices(); ++u) {
+      for (vertex_id w : g.neighbors(static_cast<vertex_id>(u))) {
+        edges.push_back({static_cast<vertex_id>(n + u),
+                         static_cast<vertex_id>(n + w)});
+      }
+    }
+    n += g.num_vertices();
+  }
+  return from_edges(n, std::move(edges),
+                    {.symmetrize = false,
+                     .remove_self_loops = false,
+                     .remove_duplicates = false});
+}
+
+graph erdos_renyi(size_t n, double p, uint64_t seed) {
+  rng gen(seed);
+  edge_list edges;
+  size_t counter = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (gen.uniform01(counter++) < p) {
+        edges.push_back({static_cast<vertex_id>(i), static_cast<vertex_id>(j)});
+      }
+    }
+  }
+  return from_edges(n, std::move(edges));
+}
+
+}  // namespace pcc::graph

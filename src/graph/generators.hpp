@@ -1,0 +1,68 @@
+// Synthetic graph generators covering every input class in Table 1 of the
+// paper plus structured helpers used by the tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pcc::graph {
+
+// `random` input: every vertex draws `degree` neighbours uniformly at
+// random; symmetrized and deduplicated (PBBS randomGraph analogue).
+graph random_graph(size_t n, size_t degree, uint64_t seed);
+
+// R-MAT power-law generator (Chakrabarti, Zhan, Faloutsos, SDM'04) with the
+// standard (a, b, c) partition probabilities. `n` is rounded up to a power
+// of two internally; `num_edges` directed edges are sampled, then the graph
+// is symmetrized and deduplicated. The paper's `rMat` input uses m = 5n and
+// its dense `rMat2` a much higher edge-to-vertex ratio.
+struct rmat_options {
+  double a = 0.5;
+  double b = 0.1;
+  double c = 0.1;
+  // d = 1 - a - b - c.
+  // Perturb the quadrant probabilities per level (smooths degree spikes).
+  bool noise = true;
+};
+graph rmat_graph(size_t n, size_t num_edges, uint64_t seed,
+                 const rmat_options& opt = {});
+
+// `3D-grid` input: vertices on a side^3 torus, six neighbours each (two per
+// dimension). If randomize_labels, vertex ids are randomly permuted as in
+// the paper's experimental setup.
+graph grid3d_graph(size_t n, bool randomize_labels = true, uint64_t seed = 1);
+
+// `line` input: a path of n vertices (diameter n - 1), the paper's
+// worst-case high-diameter graph.
+graph line_graph(size_t n, bool randomize_labels = false, uint64_t seed = 1);
+
+// Stand-in for com-Orkut (see DESIGN.md substitutions): a skewed, dense,
+// low-diameter social-network-like graph — R-MAT at com-Orkut's
+// edge-to-vertex ratio (~38) with randomized labels.
+graph social_network_like(size_t n, uint64_t seed);
+
+// --- Structured graphs for tests and examples. ---
+
+// Graph with n vertices and no edges.
+graph empty_graph(size_t n);
+// Single cycle through all n vertices (n >= 3).
+graph cycle_graph(size_t n);
+// Star: vertex 0 connected to all others.
+graph star_graph(size_t n);
+// Complete graph on n vertices.
+graph complete_graph(size_t n);
+// Complete binary tree on n vertices (parent i/2 convention).
+graph binary_tree_graph(size_t n);
+// 2-D grid (no wraparound), rows x cols vertices.
+graph grid2d_graph(size_t rows, size_t cols);
+// `count` cliques of `clique_size` vertices, consecutive cliques joined by
+// a single bridge edge — one big component with dense local structure.
+graph cliques_with_bridges(size_t count, size_t clique_size);
+// Disjoint union of the given graphs (vertex ids offset in order).
+graph disjoint_union(const std::vector<graph>& parts);
+// Erdos-Renyi G(n, p) for small n (tests only; O(n^2) work).
+graph erdos_renyi(size_t n, double p, uint64_t seed);
+
+}  // namespace pcc::graph

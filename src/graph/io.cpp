@@ -1,0 +1,174 @@
+#include "graph/io.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace pcc::graph {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("graph io: " + path + ": " + what);
+}
+
+uint64_t next_number(std::istream& in, const std::string& path,
+                     const char* what) {
+  uint64_t x = 0;
+  if (!(in >> x)) fail(path, std::string("expected ") + what);
+  return x;
+}
+
+}  // namespace
+
+graph read_adjacency_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open");
+  std::string header;
+  if (!(in >> header) || header != "AdjacencyGraph") {
+    fail(path, "missing AdjacencyGraph header");
+  }
+  const uint64_t n = next_number(in, path, "vertex count");
+  const uint64_t m = next_number(in, path, "edge count");
+  if (n > kMaxVertices) fail(path, "too many vertices");
+
+  std::vector<edge_id> offsets(n + 1);
+  for (uint64_t i = 0; i < n; ++i) {
+    offsets[i] = next_number(in, path, "offset");
+    if (offsets[i] > m) fail(path, "offset out of range");
+  }
+  offsets[n] = m;
+  for (uint64_t i = 1; i < n; ++i) {
+    if (offsets[i] < offsets[i - 1]) fail(path, "offsets not monotone");
+  }
+  std::vector<vertex_id> edges(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    const uint64_t t = next_number(in, path, "edge target");
+    if (t >= n) fail(path, "edge target out of range");
+    edges[i] = static_cast<vertex_id>(t);
+  }
+  return graph(std::move(offsets), std::move(edges));
+}
+
+void write_adjacency_graph(const graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out << "AdjacencyGraph\n" << g.num_vertices() << '\n' << g.num_edges() << '\n';
+  for (size_t i = 0; i < g.num_vertices(); ++i) {
+    out << g.offset(static_cast<vertex_id>(i)) << '\n';
+  }
+  for (vertex_id t : g.edges()) out << t << '\n';
+  if (!out) fail(path, "write failed");
+}
+
+graph read_snap_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open");
+  edge_list raw;
+  std::unordered_map<uint64_t, vertex_id> compact;
+  const auto to_id = [&](uint64_t x) {
+    auto [it, inserted] =
+        compact.try_emplace(x, static_cast<vertex_id>(compact.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t u = 0;
+    uint64_t v = 0;
+    if (!(ls >> u >> v)) {
+      fail(path, "malformed edge at line " + std::to_string(lineno));
+    }
+    raw.push_back({to_id(u), to_id(v)});
+  }
+  return from_edges(compact.size(), std::move(raw));
+}
+
+void write_edge_list(const graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out << "# undirected; each edge listed once (u < v)\n";
+  for (size_t u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_id v : g.neighbors(static_cast<vertex_id>(u))) {
+      if (u < v) out << u << '\t' << v << '\n';
+    }
+  }
+  if (!out) fail(path, "write failed");
+}
+
+}  // namespace pcc::graph
+
+namespace pcc::graph {
+namespace {
+
+constexpr char kBinaryMagic[4] = {'P', 'C', 'C', 'G'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, const std::string& path, T* v,
+              const char* what) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  if (!in) fail(path, std::string("truncated reading ") + what);
+}
+
+}  // namespace
+
+graph read_binary_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kBinaryMagic, 4) != 0) {
+    fail(path, "bad magic (not a pcc binary graph)");
+  }
+  uint64_t n = 0;
+  uint64_t m = 0;
+  read_pod(in, path, &n, "vertex count");
+  read_pod(in, path, &m, "edge count");
+  if (n > kMaxVertices) fail(path, "too many vertices");
+  std::vector<edge_id> offsets(n + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(edge_id)));
+  if (!in) fail(path, "truncated offsets");
+  if (offsets[0] != 0 || offsets[n] != m) fail(path, "inconsistent offsets");
+  for (uint64_t i = 0; i < n; ++i) {
+    if (offsets[i] > offsets[i + 1]) fail(path, "offsets not monotone");
+  }
+  std::vector<vertex_id> edges(m);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(m * sizeof(vertex_id)));
+  if (!in) fail(path, "truncated edges");
+  for (vertex_id t : edges) {
+    if (t >= n) fail(path, "edge target out of range");
+  }
+  return graph(std::move(offsets), std::move(edges));
+}
+
+void write_binary_graph(const graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(kBinaryMagic, 4);
+  write_pod(out, static_cast<uint64_t>(g.num_vertices()));
+  write_pod(out, static_cast<uint64_t>(g.num_edges()));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(edge_id)));
+  out.write(reinterpret_cast<const char*>(g.edges().data()),
+            static_cast<std::streamsize>(g.edges().size() * sizeof(vertex_id)));
+  if (!out) fail(path, "write failed");
+}
+
+}  // namespace pcc::graph

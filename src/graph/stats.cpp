@@ -1,0 +1,142 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "parallel/histogram.hpp"
+#include "parallel/sample_sort.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::graph {
+
+degree_stats compute_degree_stats(const graph& g) {
+  degree_stats s;
+  const size_t n = g.num_vertices();
+  if (n == 0) return s;
+  s.min = g.num_edges();
+  for (size_t v = 0; v < n; ++v) {
+    const size_t d = g.degree(static_cast<vertex_id>(v));
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    if (d == 0) ++s.isolated;
+  }
+  s.mean = static_cast<double>(g.num_edges()) / static_cast<double>(n);
+  return s;
+}
+
+bool is_symmetric(const graph& g) {
+  std::unordered_set<uint64_t> dir;
+  dir.reserve(g.num_edges() * 2);
+  for (size_t u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_id v : g.neighbors(static_cast<vertex_id>(u))) {
+      dir.insert((static_cast<uint64_t>(u) << 32) | v);
+    }
+  }
+  for (size_t u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_id v : g.neighbors(static_cast<vertex_id>(u))) {
+      if (!dir.contains((static_cast<uint64_t>(v) << 32) | u)) return false;
+    }
+  }
+  return true;
+}
+
+bool has_self_loops(const graph& g) {
+  for (size_t u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_id v : g.neighbors(static_cast<vertex_id>(u))) {
+      if (v == u) return true;
+    }
+  }
+  return false;
+}
+
+bool has_duplicate_edges(const graph& g) {
+  std::vector<vertex_id> nbrs;
+  for (size_t u = 0; u < g.num_vertices(); ++u) {
+    const auto span = g.neighbors(static_cast<vertex_id>(u));
+    nbrs.assign(span.begin(), span.end());
+    std::sort(nbrs.begin(), nbrs.end());
+    if (std::adjacent_find(nbrs.begin(), nbrs.end()) != nbrs.end()) return true;
+  }
+  return false;
+}
+
+std::vector<vertex_id> reference_components(const graph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<vertex_id> labels(n, kNoVertex);
+  std::vector<vertex_id> queue;
+  queue.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    if (labels[s] != kNoVertex) continue;
+    const vertex_id root = static_cast<vertex_id>(s);
+    labels[s] = root;
+    queue.clear();
+    queue.push_back(root);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const vertex_id u = queue[head];
+      for (vertex_id w : g.neighbors(u)) {
+        if (labels[w] == kNoVertex) {
+          labels[w] = root;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+size_t count_components(const graph& g) {
+  const auto labels = reference_components(g);
+  size_t count = 0;
+  for (size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == v) ++count;
+  }
+  return count;
+}
+
+size_t bfs_eccentricity(const graph& g, vertex_id source) {
+  const size_t n = g.num_vertices();
+  std::vector<uint32_t> dist(n, ~0u);
+  std::vector<vertex_id> queue{source};
+  dist[source] = 0;
+  size_t ecc = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const vertex_id u = queue[head];
+    for (vertex_id w : g.neighbors(u)) {
+      if (dist[w] == ~0u) {
+        dist[w] = dist[u] + 1;
+        ecc = std::max<size_t>(ecc, dist[w]);
+        queue.push_back(w);
+      }
+    }
+  }
+  return ecc;
+}
+
+std::vector<size_t> component_sizes(const std::vector<vertex_id>& labels) {
+  const size_t n = labels.size();
+  // Labels produced by this library are vertex ids, so a dense parallel
+  // histogram applies; fall back to a hash map for arbitrary labels.
+  bool dense = true;
+  for (vertex_id l : labels) {
+    if (l >= n) {
+      dense = false;
+      break;
+    }
+  }
+  std::vector<size_t> sizes;
+  if (dense) {
+    const auto counts =
+        parallel::histogram(n, n, [&](size_t i) { return labels[i]; });
+    sizes = parallel::filter(counts, [](size_t c) { return c > 0; });
+  } else {
+    std::unordered_map<vertex_id, size_t> counts;
+    for (vertex_id l : labels) ++counts[l];
+    sizes.reserve(counts.size());
+    for (const auto& [label, c] : counts) sizes.push_back(c);
+  }
+  parallel::sample_sort(sizes, std::greater<>());
+  return sizes;
+}
+
+}  // namespace pcc::graph

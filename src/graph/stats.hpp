@@ -1,0 +1,43 @@
+// Structural queries and integrity checks over graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pcc::graph {
+
+struct degree_stats {
+  size_t min = 0;
+  size_t max = 0;
+  double mean = 0.0;
+  size_t isolated = 0;  // vertices of degree zero
+};
+
+degree_stats compute_degree_stats(const graph& g);
+
+// True iff every directed edge (u, v) has its reverse (v, u).
+bool is_symmetric(const graph& g);
+
+// True iff some edge (u, u) exists.
+bool has_self_loops(const graph& g);
+
+// True iff some vertex lists the same neighbour twice.
+bool has_duplicate_edges(const graph& g);
+
+// Reference connected-components labeling by sequential BFS; label of a
+// vertex is the smallest vertex id in its component. This is the oracle the
+// test suite compares every parallel implementation against.
+std::vector<vertex_id> reference_components(const graph& g);
+
+// Number of connected components (via reference_components).
+size_t count_components(const graph& g);
+
+// Eccentricity of `source` in its component (longest BFS distance).
+size_t bfs_eccentricity(const graph& g, vertex_id source);
+
+// Sizes of all components, descending.
+std::vector<size_t> component_sizes(const std::vector<vertex_id>& labels);
+
+}  // namespace pcc::graph

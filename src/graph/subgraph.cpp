@@ -1,0 +1,83 @@
+#include "graph/subgraph.hpp"
+
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::graph {
+
+graph induced_subgraph(const graph& g, const std::vector<uint8_t>& keep,
+                       std::vector<vertex_id>* old_ids) {
+  const size_t n = g.num_vertices();
+  // Compact renumbering of kept vertices.
+  std::vector<size_t> new_of;
+  const size_t k = parallel::scan_exclusive_into(
+      n, [&](size_t v) { return keep[v] ? size_t{1} : size_t{0}; }, new_of);
+  if (old_ids != nullptr) {
+    old_ids->resize(k);
+    parallel::parallel_for(0, n, [&](size_t v) {
+      if (keep[v]) (*old_ids)[new_of[v]] = static_cast<vertex_id>(v);
+    });
+  }
+
+  // Count surviving edges per kept vertex, scan, fill.
+  std::vector<size_t> deg_off;
+  const size_t m = parallel::scan_exclusive_into(
+      n,
+      [&](size_t v) {
+        if (!keep[v]) return size_t{0};
+        size_t d = 0;
+        for (vertex_id w : g.neighbors(static_cast<vertex_id>(v))) {
+          if (keep[w]) ++d;
+        }
+        return d;
+      },
+      deg_off);
+
+  std::vector<edge_id> offsets(k + 1);
+  std::vector<vertex_id> edges(m);
+  parallel::parallel_for(0, n, [&](size_t v) {
+    if (!keep[v]) return;
+    offsets[new_of[v]] = deg_off[v];
+    size_t pos = deg_off[v];
+    for (vertex_id w : g.neighbors(static_cast<vertex_id>(v))) {
+      if (keep[w]) edges[pos++] = static_cast<vertex_id>(new_of[w]);
+    }
+  });
+  offsets[k] = m;
+  return graph(std::move(offsets), std::move(edges));
+}
+
+graph extract_component(const graph& g, const std::vector<vertex_id>& labels,
+                        vertex_id component_label,
+                        std::vector<vertex_id>* old_ids) {
+  std::vector<uint8_t> keep(g.num_vertices());
+  parallel::parallel_for(0, g.num_vertices(), [&](size_t v) {
+    keep[v] = labels[v] == component_label ? 1 : 0;
+  });
+  return induced_subgraph(g, keep, old_ids);
+}
+
+graph largest_component(const graph& g, std::vector<vertex_id>* old_ids) {
+  if (g.num_vertices() == 0) return graph();
+  // Sequential labeling: this is a convenience utility; for large graphs
+  // compute labels with pcc::cc::connected_components and call
+  // extract_component directly.
+  const auto labels = reference_components(g);
+  std::unordered_map<vertex_id, size_t> counts;
+  for (vertex_id l : labels) ++counts[l];
+  vertex_id best = labels[0];
+  size_t best_size = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_size || (count == best_size && label < best)) {
+      best = label;
+      best_size = count;
+    }
+  }
+  return extract_component(g, labels, best, old_ids);
+}
+
+}  // namespace pcc::graph

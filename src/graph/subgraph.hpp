@@ -1,0 +1,29 @@
+// Subgraph extraction utilities built on the connectivity labeling:
+// induced subgraphs, per-component extraction, largest component.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pcc::graph {
+
+// The subgraph induced by the vertices with keep[v] != 0, with vertices
+// renumbered compactly in increasing original-id order. `old_ids` (if
+// non-null) receives the original id of each new vertex.
+graph induced_subgraph(const graph& g, const std::vector<uint8_t>& keep,
+                       std::vector<vertex_id>* old_ids = nullptr);
+
+// The subgraph induced by one component of a labeling (the component whose
+// label is `component_label`).
+graph extract_component(const graph& g, const std::vector<vertex_id>& labels,
+                        vertex_id component_label,
+                        std::vector<vertex_id>* old_ids = nullptr);
+
+// The largest connected component (ties broken toward the smaller label).
+// Labels sequentially for convenience; for big graphs run
+// pcc::cc::connected_components yourself and call extract_component.
+graph largest_component(const graph& g,
+                        std::vector<vertex_id>* old_ids = nullptr);
+
+}  // namespace pcc::graph

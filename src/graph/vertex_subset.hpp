@@ -1,0 +1,128 @@
+// vertex_subset: a set of vertices with dual sparse (id list) and dense
+// (flag array) representations, converted lazily — the frontier abstraction
+// of Ligra [Shun-Blelloch PPoPP'13], which the paper's hybrid-BFS-CC
+// baseline and direction-optimizing traversals are built on.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/defs.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::graph {
+
+class vertex_subset {
+ public:
+  vertex_subset() = default;
+
+  // The empty subset of a universe of n vertices.
+  static vertex_subset empty(size_t n) {
+    vertex_subset s;
+    s.n_ = n;
+    s.has_sparse_ = true;
+    return s;
+  }
+
+  // Singleton {v}.
+  static vertex_subset single(size_t n, vertex_id v) {
+    vertex_subset s = empty(n);
+    s.sparse_ = {v};
+    s.count_ = 1;
+    return s;
+  }
+
+  // Every vertex of the universe.
+  static vertex_subset all(size_t n) {
+    vertex_subset s;
+    s.n_ = n;
+    s.dense_.assign(n, 1);
+    s.has_dense_ = true;
+    s.count_ = n;
+    return s;
+  }
+
+  static vertex_subset from_sparse(size_t n, std::vector<vertex_id> ids) {
+    vertex_subset s;
+    s.n_ = n;
+    s.count_ = ids.size();
+    s.sparse_ = std::move(ids);
+    s.has_sparse_ = true;
+    return s;
+  }
+
+  // flags.size() == n; count computed if not supplied.
+  static vertex_subset from_dense(std::vector<uint8_t> flags,
+                                  size_t count = SIZE_MAX) {
+    vertex_subset s;
+    s.n_ = flags.size();
+    s.dense_ = std::move(flags);
+    s.has_dense_ = true;
+    s.count_ = count != SIZE_MAX
+                   ? count
+                   : parallel::count_if_index(
+                         s.n_, [&](size_t v) { return s.dense_[v] != 0; });
+    return s;
+  }
+
+  size_t universe_size() const { return n_; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Fraction of the universe on the frontier (the dense/sparse switch
+  // criterion; the paper switches above 20%).
+  double density() const {
+    return n_ == 0 ? 0.0
+                   : static_cast<double>(count_) / static_cast<double>(n_);
+  }
+
+  // Sparse view; materializes (O(n)) if only dense exists.
+  const std::vector<vertex_id>& sparse() const {
+    if (!has_sparse_) {
+      sparse_ = parallel::pack_index<vertex_id>(
+          n_, [&](size_t v) { return dense_[v] != 0; });
+      has_sparse_ = true;
+    }
+    return sparse_;
+  }
+
+  // Dense view; materializes (O(n)) if only sparse exists.
+  const std::vector<uint8_t>& dense() const {
+    if (!has_dense_) {
+      dense_.assign(n_, 0);
+      parallel::parallel_for(0, sparse_.size(),
+                             [&](size_t i) { dense_[sparse_[i]] = 1; });
+      has_dense_ = true;
+    }
+    return dense_;
+  }
+
+  // Membership; materializes the dense view on first use.
+  bool contains(vertex_id v) const { return dense()[v] != 0; }
+
+  // Apply f to every member (parallel; uses whichever view exists).
+  template <typename F>
+  void for_each(F&& f) const {
+    if (has_sparse_) {
+      parallel::parallel_for(0, sparse_.size(),
+                             [&](size_t i) { f(sparse_[i]); });
+    } else {
+      parallel::parallel_for(0, n_, [&](size_t v) {
+        if (dense_[v]) f(static_cast<vertex_id>(v));
+      });
+    }
+  }
+
+ private:
+  size_t n_ = 0;
+  size_t count_ = 0;
+  mutable std::vector<vertex_id> sparse_;
+  mutable std::vector<uint8_t> dense_;
+  mutable bool has_sparse_ = false;
+  mutable bool has_dense_ = false;
+};
+
+}  // namespace pcc::graph

@@ -1,0 +1,29 @@
+// Basic type aliases and small utilities shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace pcc {
+
+// Vertex and edge index types. The paper's experiments use graphs with up
+// to 5e8 edges; 32-bit vertex ids and 64-bit edge offsets cover that while
+// halving the memory traffic relative to all-64-bit, which matters for the
+// cache behaviour the paper's engineering section discusses.
+using vertex_id = uint32_t;
+using edge_id = uint64_t;
+
+inline constexpr vertex_id kNoVertex = std::numeric_limits<vertex_id>::max();
+
+// Cache line size used for padding shared counters.
+inline constexpr size_t kCacheLineBytes = 64;
+
+namespace parallel {
+
+// Granularity below which parallel loops run sequentially. Chosen large
+// enough that per-task scheduling overhead is amortized.
+inline constexpr size_t kDefaultGrain = 2048;
+
+}  // namespace parallel
+}  // namespace pcc

@@ -1,0 +1,79 @@
+// Phase-concurrent open-addressing hash set for 64-bit keys.
+//
+// The paper removes duplicate edges between contracted components "using a
+// parallel hash table [Shun-Blelloch, Phase-concurrent hash tables for
+// determinism, SPAA'14]". Phase-concurrency means all threads perform the
+// same operation type between synchronization points; during an insert
+// phase, linear probing with CAS is linearizable and the final table
+// contents are deterministic (a set is order-independent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/atomics.hpp"
+#include "parallel/defs.hpp"
+#include "parallel/random.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::parallel {
+
+class hash_set64 {
+ public:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  // Capacity for up to `max_elements` inserts at load factor <= 1/2.
+  explicit hash_set64(size_t max_elements) {
+    size_t cap = 16;
+    while (cap < 2 * max_elements + 1) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, kEmpty);
+  }
+
+  // Insert `key` (must not equal kEmpty). Returns true iff the key was not
+  // already present. Safe to call concurrently with other inserts.
+  bool insert(uint64_t key) {
+    size_t i = static_cast<size_t>(hash64(key)) & mask_;
+    while (true) {
+      uint64_t cur = atomic_load(&slots_[i]);
+      if (cur == key) return false;
+      if (cur == kEmpty) {
+        if (cas(&slots_[i], kEmpty, key)) return true;
+        // Lost the race; re-read this slot (the winner may hold our key).
+        continue;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Membership test. Only valid when no insert phase is running.
+  bool contains(uint64_t key) const {
+    size_t i = static_cast<size_t>(hash64(key)) & mask_;
+    while (true) {
+      const uint64_t cur = slots_[i];
+      if (cur == key) return true;
+      if (cur == kEmpty) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Number of occupied slots (parallel count). Phase-separated from inserts.
+  size_t size() const {
+    return count_if_index(slots_.size(),
+                          [&](size_t i) { return slots_[i] != kEmpty; });
+  }
+
+  // Extract all stored keys (arbitrary but deterministic order: slot order).
+  std::vector<uint64_t> elements() const {
+    return pack(slots_, [&](size_t i) { return slots_[i] != kEmpty; });
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace pcc::parallel

@@ -1,0 +1,52 @@
+// Parallel histogram: count occurrences of integer keys in [0, buckets).
+//
+// Work-efficient per-block counting with a tree merge over blocks — the
+// counting substrate behind degree computation, component-size statistics
+// and the radix sort passes. For bucket counts much larger than n, falls
+// back to atomic scatter increments (the dense count array would dominate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/atomics.hpp"
+#include "parallel/defs.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pcc::parallel {
+
+// counts[k] = |{ i : key(i) == k }| for i in [0, n). Keys must be < buckets.
+template <typename Key>
+std::vector<size_t> histogram(size_t n, size_t buckets, Key&& key) {
+  std::vector<size_t> counts(buckets, 0);
+  if (n == 0 || buckets == 0) return counts;
+
+  const size_t block = 1 << 14;
+  const size_t nb = 1 + (n - 1) / block;
+  // Dense per-block counting only pays off while the per-block count
+  // arrays stay small relative to the work.
+  if (buckets <= 4 * block && nb > 1) {
+    std::vector<size_t> per_block(nb * buckets, 0);
+    parallel_for(
+        0, nb,
+        [&](size_t b) {
+          size_t* c = per_block.data() + b * buckets;
+          const size_t lo = b * block;
+          const size_t hi = std::min(n, lo + block);
+          for (size_t i = lo; i < hi; ++i) ++c[key(i)];
+        },
+        1);
+    parallel_for(0, buckets, [&](size_t k) {
+      size_t total = 0;
+      for (size_t b = 0; b < nb; ++b) total += per_block[b * buckets + k];
+      counts[k] = total;
+    });
+    return counts;
+  }
+
+  // Sparse/huge-bucket case: atomic increments.
+  parallel_for(0, n, [&](size_t i) { fetch_add<size_t>(&counts[key(i)], 1); });
+  return counts;
+}
+
+}  // namespace pcc::parallel

@@ -1,0 +1,103 @@
+// Parallel comparison sort (sample sort).
+//
+// Complements the radix integer_sort for keys that are not small integers:
+// sample ~p*log n pivots, bucket every element by binary search over the
+// sorted sample, scatter bucket-by-bucket with per-block counting (stable
+// within the scatter order of each block), and finish each bucket with a
+// sequential sort. O(n log n) work, O(log^2 n)-ish depth — the standard
+// PBBS-style construction.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/defs.hpp"
+#include "parallel/random.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::parallel {
+
+namespace detail {
+inline constexpr size_t kSampleSortCutoff = 1 << 14;
+inline constexpr size_t kSampleSortBlock = 1 << 12;
+}  // namespace detail
+
+template <typename T, typename Less = std::less<T>>
+void sample_sort(std::vector<T>& v, Less less = Less{}, uint64_t seed = 0x5a) {
+  const size_t n = v.size();
+  if (n < detail::kSampleSortCutoff) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+
+  // Pivot selection: oversample, sort, take evenly spaced pivots.
+  const size_t num_buckets = std::max<size_t>(2, n / detail::kSampleSortBlock);
+  const size_t oversample = 8;
+  rng gen(seed);
+  std::vector<T> sample(num_buckets * oversample);
+  parallel_for(0, sample.size(),
+               [&](size_t i) { sample[i] = v[gen.bounded(i, n)]; });
+  std::sort(sample.begin(), sample.end(), less);
+  std::vector<T> pivots(num_buckets - 1);
+  for (size_t i = 0; i + 1 < num_buckets; ++i) {
+    pivots[i] = sample[(i + 1) * oversample];
+  }
+
+  // Bucket index per element.
+  std::vector<uint32_t> bucket(n);
+  parallel_for(0, n, [&](size_t i) {
+    bucket[i] = static_cast<uint32_t>(
+        std::upper_bound(pivots.begin(), pivots.end(), v[i], less) -
+        pivots.begin());
+  });
+
+  // Per-block bucket counts -> global offsets (bucket-major), scatter.
+  const size_t nb = 1 + (n - 1) / detail::kSampleSortBlock;
+  std::vector<size_t> counts(nb * num_buckets, 0);
+  parallel_for(
+      0, nb,
+      [&](size_t b) {
+        const size_t lo = b * detail::kSampleSortBlock;
+        const size_t hi = std::min(n, lo + detail::kSampleSortBlock);
+        size_t* c = counts.data() + b * num_buckets;
+        for (size_t i = lo; i < hi; ++i) ++c[bucket[i]];
+      },
+      1);
+  std::vector<size_t> offsets(nb * num_buckets);
+  std::vector<size_t> bucket_start(num_buckets + 1);
+  size_t total = 0;
+  for (size_t k = 0; k < num_buckets; ++k) {
+    bucket_start[k] = total;
+    for (size_t b = 0; b < nb; ++b) {
+      offsets[b * num_buckets + k] = total;
+      total += counts[b * num_buckets + k];
+    }
+  }
+  bucket_start[num_buckets] = n;
+
+  std::vector<T> out(n);
+  parallel_for(
+      0, nb,
+      [&](size_t b) {
+        const size_t lo = b * detail::kSampleSortBlock;
+        const size_t hi = std::min(n, lo + detail::kSampleSortBlock);
+        size_t* off = offsets.data() + b * num_buckets;
+        for (size_t i = lo; i < hi; ++i) out[off[bucket[i]]++] = v[i];
+      },
+      1);
+
+  // Sort each bucket (sequentially per bucket, buckets in parallel).
+  parallel_for(
+      0, num_buckets,
+      [&](size_t k) {
+        std::sort(out.begin() + bucket_start[k],
+                  out.begin() + bucket_start[k + 1], less);
+      },
+      1);
+  v.swap(out);
+}
+
+}  // namespace pcc::parallel

@@ -1,0 +1,162 @@
+// Thin scheduler abstraction with two interchangeable backends.
+//
+// The paper's code uses Cilk Plus (cilk_for / cilk_spawn). This layer keeps
+// the algorithms scheduler-agnostic: they call pcc::parallel::parallel_for
+// and pcc::parallel::par_do, which dispatch at runtime to either
+//   - OpenMP (default), or
+//   - the library's own work-sharing thread pool (parallel/thread_pool.hpp),
+// selected with set_backend(). The whole test suite runs under both, so
+// swapping in a third scheduler (Cilk, TBB, ...) only means reimplementing
+// the two functions below.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "parallel/defs.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pcc::parallel {
+
+enum class backend {
+  kOpenMP,
+  kThreadPool,
+};
+
+namespace detail {
+inline backend& backend_ref() {
+  static backend b = backend::kOpenMP;
+  return b;
+}
+}  // namespace detail
+
+inline backend current_backend() { return detail::backend_ref(); }
+inline void set_backend(backend b) { detail::backend_ref() = b; }
+
+// RAII backend override (tests).
+class scoped_backend {
+ public:
+  explicit scoped_backend(backend b) : saved_(current_backend()) {
+    set_backend(b);
+  }
+  ~scoped_backend() { set_backend(saved_); }
+  scoped_backend(const scoped_backend&) = delete;
+  scoped_backend& operator=(const scoped_backend&) = delete;
+
+ private:
+  backend saved_;
+};
+
+// Number of worker threads parallel regions will use.
+inline int num_workers() {
+  if (current_backend() == backend::kThreadPool) {
+    return static_cast<int>(thread_pool::instance().num_threads());
+  }
+  return omp_get_max_threads();
+}
+
+// Identifier of the calling worker in [0, num_workers()) (OpenMP backend;
+// pool workers report 0 — none of the algorithms rely on worker ids).
+inline int worker_id() { return omp_get_thread_num(); }
+
+// Set the number of worker threads (global; OpenMP backend — the pool's
+// size is fixed at creation, its dynamic chunking makes the distinction
+// harmless for correctness).
+inline void set_num_workers(int n) { omp_set_num_threads(std::max(1, n)); }
+
+// RAII guard that sets the worker count and restores the previous value.
+class scoped_workers {
+ public:
+  explicit scoped_workers(int n) : saved_(omp_get_max_threads()) {
+    set_num_workers(n);
+  }
+  ~scoped_workers() { set_num_workers(saved_); }
+  scoped_workers(const scoped_workers&) = delete;
+  scoped_workers& operator=(const scoped_workers&) = delete;
+
+ private:
+  int saved_;
+};
+
+// Parallel loop over [start, end). `f` is invoked once per index. Runs
+// sequentially when the range is below `grain` or when already inside a
+// parallel region at full occupancy (nested parallel-for serializes — the
+// right policy for the divide-and-conquer sorts on both backends).
+template <typename F>
+void parallel_for(size_t start, size_t end, F&& f, size_t grain = kDefaultGrain) {
+  if (end <= start) return;
+  const size_t n = end - start;
+  const size_t num_blocks = (n + grain - 1) / grain;
+
+  if (current_backend() == backend::kThreadPool) {
+    if (n <= grain || thread_pool::instance().num_threads() == 1 ||
+        thread_pool::in_region) {
+      for (size_t i = start; i < end; ++i) f(i);
+      return;
+    }
+    thread_pool::instance().run(num_blocks, [&](size_t b) {
+      const size_t lo = start + b * grain;
+      const size_t hi = std::min(end, lo + grain);
+      for (size_t i = lo; i < hi; ++i) f(i);
+    });
+    return;
+  }
+
+  if (n <= grain || omp_get_max_threads() == 1 || omp_in_parallel()) {
+    for (size_t i = start; i < end; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 1)
+  for (long long b = 0; b < static_cast<long long>(num_blocks); ++b) {
+    const size_t lo = start + static_cast<size_t>(b) * grain;
+    const size_t hi = std::min(end, lo + grain);
+    for (size_t i = lo; i < hi; ++i) f(i);
+  }
+}
+
+// Fork-join pair: run `left` and `right` potentially in parallel, join both.
+// Equivalent of cilk_spawn/cilk_sync for two-way divide and conquer.
+template <typename L, typename R>
+void par_do(L&& left, R&& right) {
+  if (current_backend() == backend::kThreadPool) {
+    if (thread_pool::instance().num_threads() == 1 || thread_pool::in_region) {
+      left();
+      right();
+      return;
+    }
+    thread_pool::instance().run(2, [&](size_t b) {
+      if (b == 0) {
+        left();
+      } else {
+        right();
+      }
+    });
+    return;
+  }
+
+  if (omp_get_max_threads() == 1) {
+    left();
+    right();
+    return;
+  }
+  if (omp_in_parallel()) {
+#pragma omp task untied shared(left)
+    left();
+    right();
+#pragma omp taskwait
+  } else {
+#pragma omp parallel
+#pragma omp single nowait
+    {
+#pragma omp task untied shared(left)
+      left();
+      right();
+#pragma omp taskwait
+    }
+  }
+}
+
+}  // namespace pcc::parallel

@@ -1,0 +1,155 @@
+// A self-contained work-sharing thread pool — the library's second
+// scheduler backend.
+//
+// The algorithms only ever call pcc::parallel::parallel_for / par_do
+// (scheduler.hpp), which dispatch either to OpenMP (default) or to this
+// pool, selected at runtime via set_backend(). The pool exists so the
+// library runs without an OpenMP runtime and so the scheduler abstraction
+// is demonstrably real (the test suite runs the full pipeline under both
+// backends).
+//
+// Design: a persistent set of workers parked on a condition variable; a
+// parallel region publishes a job = {block function, block count}; workers
+// (and the submitting thread) grab block indices from a shared atomic
+// counter (work sharing with dynamic chunking — same load-balancing
+// behaviour as `omp parallel for schedule(dynamic, 1)` over blocks).
+// Nested regions execute inline on the calling thread, mirroring the
+// OpenMP backend's policy.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcc::parallel {
+
+class thread_pool {
+ public:
+  // Global pool, created on first use with hardware_concurrency - 1
+  // workers (the submitting thread participates too).
+  static thread_pool& instance() {
+    static thread_pool pool(default_worker_count());
+    return pool;
+  }
+
+  explicit thread_pool(size_t num_workers) {
+    workers_.reserve(num_workers);
+    for (size_t i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~thread_pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  // Run block_fn(b) for every b in [0, num_blocks), in parallel with the
+  // calling thread participating. Blocking; returns when all blocks ran.
+  // Must not be called from inside a pool job (callers handle nesting by
+  // running inline — see scheduler.hpp).
+  void run(size_t num_blocks, const std::function<void(size_t)>& block_fn) {
+    if (num_blocks == 0) return;
+    job j;
+    j.fn = &block_fn;
+    j.num_blocks = num_blocks;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_ = &j;
+      ++epoch_;
+    }
+    wake_.notify_all();
+
+    in_region = true;
+    j.active.fetch_add(1, std::memory_order_acq_rel);
+    work_on(j);
+    in_region = false;
+
+    // Wait for stragglers.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return j.active == 0 && j.next >= j.num_blocks; });
+    current_ = nullptr;
+  }
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // True while the calling thread executes inside a pool region (used for
+  // the inline-nesting policy).
+  static thread_local bool in_region;
+
+ private:
+  struct job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_blocks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<int> active{0};
+  };
+
+  static size_t default_worker_count() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 1 ? hc - 1 : 0;
+  }
+
+  // Caller must have registered itself in j.active (under the pool mutex
+  // for workers — that registration is what keeps the job alive: run()
+  // only destroys the job once active drops to 0 and all blocks are
+  // claimed, both checked under the same mutex).
+  void work_on(job& j) {
+    while (true) {
+      const size_t b = j.next.fetch_add(1, std::memory_order_acq_rel);
+      if (b >= j.num_blocks) break;
+      (*j.fn)(b);
+    }
+    if (j.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Possibly the last one out: wake the submitter.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    uint64_t seen_epoch = 0;
+    while (true) {
+      job* j = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] {
+          return shutdown_ || (current_ != nullptr && epoch_ != seen_epoch);
+        });
+        if (shutdown_) return;
+        seen_epoch = epoch_;
+        j = current_;
+        // Register while holding the mutex: run()'s completion check reads
+        // `active` under this mutex, so a registered worker keeps the job
+        // alive until its final fetch_sub.
+        j->active.fetch_add(1, std::memory_order_acq_rel);
+      }
+      in_region = true;
+      work_on(*j);
+      in_region = false;
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  job* current_ = nullptr;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+inline thread_local bool thread_pool::in_region = false;
+
+}  // namespace pcc::parallel

@@ -1,0 +1,135 @@
+// Parallel BFS: distances vs sequential BFS, parent-tree validity, and the
+// direction-optimizing label variant.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "baselines/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace pcc::baselines {
+namespace {
+
+std::vector<uint32_t> sequential_bfs_distances(const graph::graph& g,
+                                               vertex_id source) {
+  std::vector<uint32_t> dist(g.num_vertices(), ~0u);
+  std::queue<vertex_id> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const vertex_id u = q.front();
+    q.pop();
+    for (vertex_id w : g.neighbors(u)) {
+      if (dist[w] == ~0u) {
+        dist[w] = dist[u] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+class BfsOnCorpus
+    : public ::testing::TestWithParam<pcc::testing::graph_case> {};
+
+TEST_P(BfsOnCorpus, DistancesMatchSequential) {
+  const graph::graph g = GetParam().make();
+  if (g.num_vertices() == 0) return;
+  for (vertex_id source :
+       {vertex_id{0}, static_cast<vertex_id>(g.num_vertices() / 2)}) {
+    EXPECT_EQ(parallel_bfs_distances(g, source),
+              sequential_bfs_distances(g, source));
+  }
+}
+
+TEST_P(BfsOnCorpus, ParentsFormValidBfsTree) {
+  const graph::graph g = GetParam().make();
+  if (g.num_vertices() == 0) return;
+  const vertex_id source = 0;
+  const auto parents = parallel_bfs_parents(g, source);
+  const auto dist = sequential_bfs_distances(g, source);
+  EXPECT_EQ(parents[source], source);
+  for (size_t v = 0; v < g.num_vertices(); ++v) {
+    if (v == source) continue;
+    if (dist[v] == ~0u) {
+      EXPECT_EQ(parents[v], kNoVertex);
+    } else {
+      ASSERT_NE(parents[v], kNoVertex);
+      // Parent is exactly one level closer.
+      EXPECT_EQ(dist[parents[v]] + 1, dist[v]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BfsOnCorpus,
+                         ::testing::ValuesIn(pcc::testing::correctness_corpus()),
+                         pcc::testing::graph_case_name());
+
+TEST(HybridBfsLabel, LabelsExactlyTheComponent) {
+  const graph::graph g = graph::disjoint_union(
+      {graph::cycle_graph(100), graph::cycle_graph(50)});
+  std::vector<vertex_id> labels(g.num_vertices(), kNoVertex);
+  const auto res = hybrid_bfs_label(g, 10, labels, 777);
+  EXPECT_EQ(res.num_visited, 100u);
+  for (size_t v = 0; v < 100; ++v) EXPECT_EQ(labels[v], 777u);
+  for (size_t v = 100; v < 150; ++v) EXPECT_EQ(labels[v], kNoVertex);
+}
+
+TEST(HybridBfsLabel, SkipsAlreadyVisitedSource) {
+  const graph::graph g = graph::cycle_graph(10);
+  std::vector<vertex_id> labels(10, kNoVertex);
+  labels[3] = 1;
+  const auto res = hybrid_bfs_label(g, 3, labels, 2);
+  EXPECT_EQ(res.num_visited, 0u);
+}
+
+TEST(HybridBfsLabel, DenseStepsEngageAndStayCorrect) {
+  // Low threshold forces bottom-up rounds on a low-diameter dense graph.
+  const graph::graph g = graph::social_network_like(512, 3);
+  std::vector<vertex_id> dense_labels(g.num_vertices(), kNoVertex);
+  std::vector<vertex_id> sparse_labels(g.num_vertices(), kNoVertex);
+  // Pick a high-degree source so the component is big.
+  vertex_id source = 0;
+  for (size_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(static_cast<vertex_id>(v)) > g.degree(source)) {
+      source = static_cast<vertex_id>(v);
+    }
+  }
+  const auto dres = hybrid_bfs_label(g, source, dense_labels, 1, 0.001);
+  const auto sres = hybrid_bfs_label(g, source, sparse_labels, 1, 1.1);
+  EXPECT_GT(dres.dense_rounds, 0u);
+  EXPECT_EQ(sres.dense_rounds, 0u);
+  EXPECT_EQ(dense_labels, sparse_labels);
+  EXPECT_EQ(dres.num_visited, sres.num_visited);
+}
+
+TEST(HybridBfsLabel, RoundsEqualEccentricityPlusOne) {
+  const graph::graph g = graph::line_graph(500);
+  std::vector<vertex_id> labels(500, kNoVertex);
+  const auto res = hybrid_bfs_label(g, 0, labels, 0);
+  EXPECT_EQ(res.num_rounds, 500u);  // one round per level incl. the last
+}
+
+TEST(BfsScratch, ReuseAcrossComponentsIsClean) {
+  const graph::graph g = graph::disjoint_union(
+      {graph::complete_graph(30), graph::complete_graph(40),
+       graph::line_graph(20)});
+  std::vector<vertex_id> labels(g.num_vertices(), kNoVertex);
+  bfs_scratch scratch;
+  size_t total = 0;
+  for (size_t v = 0; v < g.num_vertices(); ++v) {
+    if (labels[v] == kNoVertex) {
+      total += hybrid_bfs_label(g, static_cast<vertex_id>(v), labels,
+                                static_cast<vertex_id>(v), 0.05, &scratch)
+                   .num_visited;
+    }
+  }
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_TRUE(is_valid_components_labeling(g, labels));
+}
+
+}  // namespace
+}  // namespace pcc::baselines

@@ -1,0 +1,62 @@
+// The verification utilities themselves (they guard everything else, so
+// they get their own adversarial tests).
+
+#include <gtest/gtest.h>
+
+#include "baselines/verify.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace pcc::baselines {
+namespace {
+
+TEST(LabelsEquivalent, IdenticalAndRenamed) {
+  EXPECT_TRUE(labels_equivalent({0, 0, 1}, {0, 0, 1}));
+  EXPECT_TRUE(labels_equivalent({0, 0, 1}, {5, 5, 9}));
+  EXPECT_TRUE(labels_equivalent({}, {}));
+}
+
+TEST(LabelsEquivalent, DetectsMerge) {
+  // Second labeling merges {0,1} with {2}.
+  EXPECT_FALSE(labels_equivalent({0, 0, 1}, {3, 3, 3}));
+}
+
+TEST(LabelsEquivalent, DetectsSplit) {
+  EXPECT_FALSE(labels_equivalent({0, 0, 0}, {1, 1, 2}));
+}
+
+TEST(LabelsEquivalent, DetectsSizeMismatch) {
+  EXPECT_FALSE(labels_equivalent({0}, {0, 0}));
+}
+
+TEST(LabelsEquivalent, DetectsCrossedPartition) {
+  // Same number of classes and sizes, but members shuffled across classes.
+  EXPECT_FALSE(labels_equivalent({0, 0, 1, 1}, {2, 3, 2, 3}));
+}
+
+TEST(IsValidComponentsLabeling, AcceptsReferenceItself) {
+  const graph::graph g = graph::random_graph(500, 3, 1);
+  EXPECT_TRUE(
+      is_valid_components_labeling(g, graph::reference_components(g)));
+}
+
+TEST(IsValidComponentsLabeling, RejectsWrongSizeOrPartition) {
+  const graph::graph g = graph::cycle_graph(4);
+  EXPECT_FALSE(is_valid_components_labeling(g, {0, 0, 0}));     // short
+  EXPECT_FALSE(is_valid_components_labeling(g, {0, 0, 1, 1}));  // split
+}
+
+TEST(LabelsAreRepresentatives, AcceptsAndRejects) {
+  // Valid: label 0 names {0,1}, label 2 names {2}.
+  EXPECT_TRUE(labels_are_representatives({0, 0, 2}));
+  // Invalid: label 1 names {0,1} but labels[1] != 1... actually labels[1]=1
+  // here, while vertex 0 claims label 1 and labels[1] == 1 -> valid; make a
+  // genuinely broken one: label 5 out of range.
+  EXPECT_FALSE(labels_are_representatives({5, 0, 2}));
+  // Broken: vertex 2 labeled 0, and labels[0] == 1 != 0.
+  EXPECT_FALSE(labels_are_representatives({1, 1, 0}));
+}
+
+}  // namespace
+}  // namespace pcc::baselines

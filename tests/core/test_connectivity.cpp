@@ -1,0 +1,220 @@
+// End-to-end correctness of Algorithm 1 (connected_components) for all
+// three decomposition variants, both shift schedules, dedup on/off, and a
+// range of beta values, against the sequential BFS oracle.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace pcc {
+namespace {
+
+using cc::cc_options;
+using cc::cc_stats;
+using cc::connected_components;
+using cc::decomp_variant;
+using pcc::testing::correctness_corpus;
+using pcc::testing::graph_case;
+
+struct cc_param {
+  std::string name;
+  graph_case gc;
+  cc_options opt;
+};
+
+class ConnectivityCorrectness : public ::testing::TestWithParam<cc_param> {};
+
+TEST_P(ConnectivityCorrectness, MatchesReference) {
+  const auto& p = GetParam();
+  const graph::graph g = p.gc.make();
+  cc_stats stats;
+  const std::vector<vertex_id> labels =
+      connected_components(g, p.opt, &stats);
+  ASSERT_EQ(labels.size(), g.num_vertices());
+  EXPECT_TRUE(baselines::is_valid_components_labeling(g, labels))
+      << "labeling mismatch on " << p.gc.name;
+  // The implementation's strong invariant: every label is a member vertex
+  // of the component it names.
+  EXPECT_TRUE(baselines::labels_are_representatives(labels));
+  EXPECT_FALSE(stats.used_fallback)
+      << "recursion fell back to the sequential path on " << p.gc.name;
+}
+
+std::vector<cc_param> make_params() {
+  std::vector<cc_param> params;
+  const std::vector<std::pair<std::string, decomp_variant>> variants = {
+      {"min", decomp_variant::kMin},
+      {"arb", decomp_variant::kArb},
+      {"hyb", decomp_variant::kArbHybrid},
+  };
+  for (const auto& gc : correctness_corpus()) {
+    for (const auto& [vname, variant] : variants) {
+      cc_options opt;
+      opt.variant = variant;
+      opt.beta = 0.2;
+      params.push_back({gc.name + "_" + vname, gc, opt});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ConnectivityCorrectness, ::testing::ValuesIn(make_params()),
+    [](const ::testing::TestParamInfo<cc_param>& info) {
+      return info.param.name;
+    });
+
+// Sweep beta across its range on a fixed mid-size graph, all variants.
+struct beta_param {
+  std::string name;
+  decomp_variant variant;
+  double beta;
+  ldd::shift_mode shifts;
+  bool dedup;
+};
+
+class ConnectivityBetaSweep : public ::testing::TestWithParam<beta_param> {};
+
+TEST_P(ConnectivityBetaSweep, MatchesReferenceOnRandomAndRmat) {
+  const auto& p = GetParam();
+  cc_options opt;
+  opt.variant = p.variant;
+  opt.beta = p.beta;
+  opt.shifts = p.shifts;
+  opt.dedup = p.dedup;
+
+  for (uint64_t seed : {1u, 2u}) {
+    opt.seed = seed;
+    const graph::graph g1 = graph::random_graph(4000, 3, 21 + seed);
+    EXPECT_TRUE(baselines::is_valid_components_labeling(
+        g1, connected_components(g1, opt)));
+    const graph::graph g2 = graph::rmat_graph(4096, 12000, 23 + seed);
+    EXPECT_TRUE(baselines::is_valid_components_labeling(
+        g2, connected_components(g2, opt)));
+  }
+}
+
+std::vector<beta_param> make_beta_params() {
+  std::vector<beta_param> params;
+  const std::vector<std::pair<std::string, decomp_variant>> variants = {
+      {"min", decomp_variant::kMin},
+      {"arb", decomp_variant::kArb},
+      {"hyb", decomp_variant::kArbHybrid},
+  };
+  for (const auto& [vname, variant] : variants) {
+    for (double beta : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+      for (auto shifts : {ldd::shift_mode::kPermutationChunks,
+                          ldd::shift_mode::kExponentialShifts}) {
+        const bool dedup = beta != 0.2;  // exercise both dedup settings
+        const std::string sname =
+            shifts == ldd::shift_mode::kPermutationChunks ? "chunk" : "exp";
+        params.push_back({vname + "_b" + std::to_string(int(beta * 100)) +
+                              "_" + sname,
+                          variant, beta, shifts, dedup});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BetaSweep, ConnectivityBetaSweep, ::testing::ValuesIn(make_beta_params()),
+    [](const ::testing::TestParamInfo<beta_param>& info) {
+      return info.param.name;
+    });
+
+TEST(Connectivity, EmptyGraph) {
+  const graph::graph g = graph::empty_graph(0);
+  EXPECT_TRUE(connected_components(g).empty());
+}
+
+TEST(Connectivity, SingleVertex) {
+  const graph::graph g = graph::empty_graph(1);
+  const auto labels = connected_components(g);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], 0u);
+}
+
+TEST(Connectivity, IsolatedVerticesLabelThemselves) {
+  const graph::graph g = graph::empty_graph(64);
+  const auto labels = connected_components(g);
+  for (size_t v = 0; v < 64; ++v) EXPECT_EQ(labels[v], v);
+}
+
+TEST(Connectivity, SelfLoopsAreHarmless) {
+  // Builder normally removes self loops; feed them explicitly.
+  const graph::graph g = graph::from_edges(
+      4, {{0, 0}, {0, 1}, {2, 2}, {2, 3}},
+      {.symmetrize = true, .remove_self_loops = false,
+       .remove_duplicates = true});
+  const auto labels = connected_components(g);
+  EXPECT_TRUE(baselines::is_valid_components_labeling(g, labels));
+}
+
+TEST(Connectivity, DuplicateEdgesAreHarmless) {
+  const graph::graph g = graph::from_edges(
+      3, {{0, 1}, {0, 1}, {0, 1}, {1, 2}},
+      {.symmetrize = true, .remove_self_loops = true,
+       .remove_duplicates = false});
+  const auto labels = connected_components(g);
+  EXPECT_TRUE(baselines::is_valid_components_labeling(g, labels));
+}
+
+TEST(Connectivity, DeterministicGivenSeedOnOneWorker) {
+  // With one worker the whole pipeline is deterministic given the seed.
+  // (On many workers Decomp-Arb's CAS tie-breaks are schedule-dependent,
+  // so only the partition — not the labels — is reproducible.)
+  parallel::scoped_workers one(1);
+  const graph::graph g = graph::rmat_graph(2048, 8000, 31);
+  cc_options opt;
+  opt.seed = 99;
+  const auto a = connected_components(g, opt);
+  const auto b = connected_components(g, opt);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Connectivity, DifferentSeedsSamePartition) {
+  const graph::graph g = graph::random_graph(3000, 4, 33);
+  cc_options opt;
+  opt.seed = 1;
+  const auto a = connected_components(g, opt);
+  opt.seed = 2;
+  const auto b = connected_components(g, opt);
+  EXPECT_TRUE(baselines::labels_equivalent(a, b));
+}
+
+TEST(Connectivity, NumComponentsHelper) {
+  const graph::graph g = graph::disjoint_union(
+      {graph::cycle_graph(10), graph::cycle_graph(12), graph::empty_graph(3)});
+  const auto labels = connected_components(g);
+  EXPECT_EQ(cc::num_components(labels), 5u);
+}
+
+TEST(Connectivity, StatsRecordEdgeDecay) {
+  const graph::graph g = graph::random_graph(20000, 5, 41);
+  cc_options opt;
+  opt.beta = 0.2;
+  cc_stats stats;
+  const auto labels = connected_components(g, opt, &stats);
+  EXPECT_TRUE(baselines::is_valid_components_labeling(g, labels));
+  ASSERT_FALSE(stats.levels.empty());
+  // Edge counts decrease strictly across levels.
+  for (size_t i = 1; i < stats.levels.size(); ++i) {
+    EXPECT_LT(stats.levels[i].m, stats.levels[i - 1].m);
+  }
+  // First level starts from the full graph.
+  EXPECT_EQ(stats.levels[0].m, g.num_edges());
+  EXPECT_EQ(stats.levels[0].n, g.num_vertices());
+  // Phase timers were populated.
+  EXPECT_GT(stats.phases.total(), 0.0);
+}
+
+TEST(Connectivity, VariantNamesAreStable) {
+  EXPECT_STREQ(cc::variant_name(decomp_variant::kMin), "decomp-min-CC");
+  EXPECT_STREQ(cc::variant_name(decomp_variant::kArb), "decomp-arb-CC");
+  EXPECT_STREQ(cc::variant_name(decomp_variant::kArbHybrid),
+               "decomp-arb-hybrid-CC");
+}
+
+}  // namespace
+}  // namespace pcc

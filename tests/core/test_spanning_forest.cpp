@@ -1,0 +1,105 @@
+// Decomposition-based spanning forest: exact size, edges drawn from the
+// graph, acyclicity, and spanning (same partition as connectivity) — over
+// the corpus and parameter sweeps.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/spanning_forest.hpp"
+#include "test_helpers.hpp"
+
+namespace pcc {
+namespace {
+
+using baselines::union_find;
+using cc::sf_options;
+using cc::spanning_forest;
+
+// Full validation of a claimed spanning forest of g.
+void expect_valid_forest(const graph::graph& g,
+                         const std::vector<graph::edge>& forest) {
+  const size_t n = g.num_vertices();
+  const auto ref = graph::reference_components(g);
+  size_t num_components = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (ref[v] == v) ++num_components;
+  }
+  // Exact size.
+  ASSERT_EQ(forest.size(), n - num_components);
+
+  // Every forest edge is a real graph edge (directed set membership).
+  std::set<std::pair<vertex_id, vertex_id>> edge_set;
+  for (size_t u = 0; u < n; ++u) {
+    for (vertex_id w : g.neighbors(static_cast<vertex_id>(u))) {
+      edge_set.insert({static_cast<vertex_id>(u), w});
+    }
+  }
+  union_find uf(n);
+  for (const auto& [u, w] : forest) {
+    ASSERT_TRUE(edge_set.contains({u, w}))
+        << "(" << u << "," << w << ") is not a graph edge";
+    // Acyclic: every forest edge joins two distinct trees.
+    ASSERT_TRUE(uf.unite(u, w)) << "cycle through (" << u << "," << w << ")";
+  }
+  // Spanning: forest connectivity equals graph connectivity.
+  for (size_t v = 0; v < n; ++v) {
+    ASSERT_EQ(uf.find(static_cast<vertex_id>(v)) == uf.find(ref[v]), true);
+  }
+}
+
+class SpanningForestCorpus
+    : public ::testing::TestWithParam<pcc::testing::graph_case> {};
+
+TEST_P(SpanningForestCorpus, ValidForest) {
+  const graph::graph g = GetParam().make();
+  expect_valid_forest(g, spanning_forest(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SpanningForestCorpus,
+                         ::testing::ValuesIn(pcc::testing::correctness_corpus()),
+                         pcc::testing::graph_case_name());
+
+TEST(SpanningForest, BetaSweep) {
+  const graph::graph g = graph::random_graph(5000, 4, 3);
+  for (double beta : {0.05, 0.2, 0.5, 0.9}) {
+    sf_options opt;
+    opt.beta = beta;
+    expect_valid_forest(g, spanning_forest(g, opt));
+  }
+}
+
+TEST(SpanningForest, SeedSweepOnMultiComponentGraph) {
+  const graph::graph g = graph::random_graph(8000, 2, 5);  // many components
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    sf_options opt;
+    opt.seed = seed;
+    expect_valid_forest(g, spanning_forest(g, opt));
+  }
+}
+
+TEST(SpanningForest, TreeInputReturnsAllEdges) {
+  const graph::graph g = graph::binary_tree_graph(1023);
+  const auto forest = spanning_forest(g);
+  EXPECT_EQ(forest.size(), 1022u);
+}
+
+TEST(SpanningForest, EmptyAndEdgeless) {
+  EXPECT_TRUE(spanning_forest(graph::empty_graph(0)).empty());
+  EXPECT_TRUE(spanning_forest(graph::empty_graph(17)).empty());
+}
+
+TEST(SpanningForest, DenseGraphNeedsManyLevels) {
+  const graph::graph g = graph::social_network_like(2048, 7);
+  expect_valid_forest(g, spanning_forest(g));
+}
+
+TEST(SpanningForest, MatchesComponentCountFromCc) {
+  const graph::graph g = graph::rmat_graph(4096, 10000, 9);
+  const auto forest = spanning_forest(g);
+  const auto labels = cc::connected_components(g);
+  EXPECT_EQ(forest.size(), g.num_vertices() - cc::num_components(labels));
+}
+
+}  // namespace
+}  // namespace pcc

@@ -1,0 +1,179 @@
+// vertex_subset and the Ligra-lite edge_map: representation conversions,
+// sparse/dense execution equivalence, early exit, and a BFS built on the
+// abstraction checked against the standalone parallel BFS.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/bfs.hpp"
+#include "graph/edge_map.hpp"
+#include "graph/generators.hpp"
+#include "graph/vertex_subset.hpp"
+#include "parallel/atomics.hpp"
+
+namespace pcc::graph {
+namespace {
+
+TEST(VertexSubset, EmptySingleAll) {
+  const auto e = vertex_subset::empty(10);
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.universe_size(), 10u);
+
+  const auto s = vertex_subset::single(10, 7);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(6));
+
+  const auto a = vertex_subset::all(10);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_NEAR(a.density(), 1.0, 1e-12);
+}
+
+TEST(VertexSubset, SparseToDenseRoundTrip) {
+  auto s = vertex_subset::from_sparse(8, {1, 3, 5});
+  EXPECT_EQ(s.dense(), (std::vector<uint8_t>{0, 1, 0, 1, 0, 1, 0, 0}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(VertexSubset, DenseToSparseRoundTrip) {
+  auto s = vertex_subset::from_dense({0, 1, 0, 0, 1, 1});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.sparse(), (std::vector<vertex_id>{1, 4, 5}));
+}
+
+TEST(VertexSubset, FromDenseWithExplicitCount) {
+  auto s = vertex_subset::from_dense({1, 1, 0}, 2);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(VertexSubset, ForEachVisitsAllMembersOnce) {
+  auto s = vertex_subset::from_sparse(100, {2, 50, 99});
+  std::vector<uint8_t> seen(100, 0);
+  s.for_each([&](vertex_id v) { parallel::fetch_add<uint8_t>(&seen[v], 1); });
+  EXPECT_EQ(seen[2] + seen[50] + seen[99], 3);
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 0), 97);
+}
+
+TEST(VertexFilter, KeepsPredicate) {
+  auto s = vertex_subset::from_sparse(10, {1, 2, 3, 4});
+  auto f = vertex_filter(s, [](vertex_id v) { return v % 2 == 0; });
+  EXPECT_EQ(f.sparse(), (std::vector<vertex_id>{2, 4}));
+}
+
+// BFS on edge_map, in all three execution modes, vs the standalone BFS.
+std::vector<uint32_t> edge_map_bfs(const graph& g, vertex_id source,
+                                   edge_map_options::mode force) {
+  const size_t n = g.num_vertices();
+  constexpr uint32_t kInf = ~0u;
+  std::vector<uint32_t> dist(n, kInf);
+  dist[source] = 0;
+  vertex_subset frontier = vertex_subset::single(n, source);
+  uint32_t level = 0;
+  edge_map_options opt;
+  opt.force = force;
+  while (!frontier.empty()) {
+    ++level;
+    frontier = edge_map(
+        g, frontier,
+        [&](vertex_id, vertex_id d) {
+          return parallel::cas(&dist[d], kInf, level);
+        },
+        [&](vertex_id d) { return parallel::atomic_load(&dist[d]) == kInf; },
+        opt);
+  }
+  return dist;
+}
+
+class EdgeMapBfsModes
+    : public ::testing::TestWithParam<edge_map_options::mode> {};
+
+TEST_P(EdgeMapBfsModes, MatchesStandaloneBfs) {
+  for (const auto& g :
+       {random_graph(3000, 4, 1), grid3d_graph(3000, true, 2),
+        line_graph(500), star_graph(200),
+        disjoint_union({cycle_graph(40), cycle_graph(30)})}) {
+    const auto expected = pcc::baselines::parallel_bfs_distances(g, 0);
+    EXPECT_EQ(edge_map_bfs(g, 0, GetParam()), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EdgeMapBfsModes,
+                         ::testing::Values(edge_map_options::mode::kAuto,
+                                           edge_map_options::mode::kAlwaysSparse,
+                                           edge_map_options::mode::kAlwaysDense));
+
+TEST(EdgeMap, OutputContainsExactlyActivatedVertices) {
+  // One round of BFS from the hub of a star activates all leaves.
+  const graph g = star_graph(50);
+  std::vector<uint8_t> visited(50, 0);
+  visited[0] = 1;
+  auto next = edge_map(
+      g, vertex_subset::single(50, 0),
+      [&](vertex_id, vertex_id d) { return parallel::cas(&visited[d], uint8_t{0}, uint8_t{1}); },
+      [&](vertex_id d) { return visited[d] == 0; });
+  EXPECT_EQ(next.size(), 49u);
+}
+
+TEST(EdgeMap, CondFalseSuppressesUpdates) {
+  const graph g = complete_graph(20);
+  size_t calls = 0;
+  auto next = edge_map(
+      g, vertex_subset::all(20),
+      [&](vertex_id, vertex_id) {
+        parallel::fetch_add<size_t>(&calls, 1);
+        return true;
+      },
+      [](vertex_id) { return false; },
+      {.force = edge_map_options::mode::kAlwaysSparse});
+  EXPECT_EQ(calls, 0u);
+  EXPECT_TRUE(next.empty());
+}
+
+TEST(EdgeMap, DenseEarlyExitStopsAfterSettled) {
+  // cond turns false after the first update; on a complete graph the dense
+  // scan must not keep updating a settled destination.
+  const graph g = complete_graph(64);
+  std::vector<uint32_t> hits(64, 0);
+  (void)edge_map(
+      g, vertex_subset::all(64),
+      [&](vertex_id, vertex_id d) {
+        parallel::fetch_add<uint32_t>(&hits[d], 1);
+        return true;
+      },
+      [&](vertex_id d) { return hits[d] == 0; },
+      {.force = edge_map_options::mode::kAlwaysDense});
+  for (size_t v = 0; v < 64; ++v) EXPECT_EQ(hits[v], 1u) << v;
+}
+
+TEST(EdgeMap, AutoSwitchesOnDensity) {
+  // With threshold 0.5: a 60% frontier goes dense (observable because the
+  // dense path serializes updates per destination).
+  const graph g = complete_graph(10);
+  auto frontier = vertex_subset::from_sparse(10, {0, 1, 2, 3, 4, 5});
+  std::vector<uint32_t> hits(10, 0);
+  edge_map_options opt;
+  opt.dense_threshold = 0.5;
+  (void)edge_map(
+      g, frontier,
+      [&](vertex_id, vertex_id d) {
+        parallel::fetch_add<uint32_t>(&hits[d], 1);
+        return true;
+      },
+      [&](vertex_id d) { return hits[d] == 0; }, opt);
+  // Dense + early-exit: every reachable destination hit exactly once.
+  for (size_t v = 0; v < 10; ++v) EXPECT_LE(hits[v], 1u);
+}
+
+TEST(EdgeMap, EmptyFrontierYieldsEmpty) {
+  const graph g = cycle_graph(10);
+  auto next = edge_map(
+      g, vertex_subset::empty(10),
+      [](vertex_id, vertex_id) { return true; },
+      [](vertex_id) { return true; });
+  EXPECT_TRUE(next.empty());
+}
+
+}  // namespace
+}  // namespace pcc::graph

@@ -1,0 +1,172 @@
+// Every generator: structural invariants (symmetry, no self loops/dups),
+// expected degrees and component structure.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace pcc::graph {
+namespace {
+
+void expect_clean(const graph& g) {
+  EXPECT_TRUE(is_symmetric(g));
+  EXPECT_FALSE(has_self_loops(g));
+  EXPECT_FALSE(has_duplicate_edges(g));
+}
+
+TEST(RandomGraph, DegreeAndCleanliness) {
+  const graph g = random_graph(10000, 5, 1);
+  EXPECT_EQ(g.num_vertices(), 10000u);
+  expect_clean(g);
+  const auto ds = compute_degree_stats(g);
+  // Each vertex draws 5 targets; symmetrization roughly doubles, dedup and
+  // self-loop removal trim slightly.
+  EXPECT_GT(ds.mean, 8.0);
+  EXPECT_LT(ds.mean, 10.0);
+  // A random graph with average degree ~10 is connected w.h.p.
+  EXPECT_LE(count_components(g), 3u);
+}
+
+TEST(RandomGraph, DifferentSeedsDiffer) {
+  const graph a = random_graph(1000, 3, 1);
+  const graph b = random_graph(1000, 3, 2);
+  EXPECT_NE(a.edges(), b.edges());
+  EXPECT_EQ(random_graph(1000, 3, 1).edges(), a.edges());  // deterministic
+}
+
+TEST(RmatGraph, PowerLawishAndClean) {
+  const graph g = rmat_graph(16384, 80000, 3);
+  expect_clean(g);
+  EXPECT_EQ(g.num_vertices(), 16384u);
+  const auto ds = compute_degree_stats(g);
+  // Skewed degrees: the max is far above the mean.
+  EXPECT_GT(static_cast<double>(ds.max), 8.0 * ds.mean);
+  // rMat graphs have many isolated vertices / components (Table 2's rMat
+  // has over 13M components at scale).
+  EXPECT_GT(count_components(g), g.num_vertices() / 50);
+}
+
+TEST(RmatGraph, DenseVariantIsDenser) {
+  const graph sparse = rmat_graph(4096, 5 * 4096, 7);
+  const graph dense = rmat_graph(1024, 100 * 1024, 7);
+  EXPECT_GT(compute_degree_stats(dense).mean,
+            4.0 * compute_degree_stats(sparse).mean);
+}
+
+TEST(Grid3d, TorusDegreesExactlySix) {
+  const graph g = grid3d_graph(4096, /*randomize_labels=*/false);
+  EXPECT_EQ(g.num_vertices(), 4096u);  // 16^3
+  expect_clean(g);
+  const auto ds = compute_degree_stats(g);
+  EXPECT_EQ(ds.min, 6u);
+  EXPECT_EQ(ds.max, 6u);
+  EXPECT_EQ(count_components(g), 1u);
+}
+
+TEST(Grid3d, RandomizedLabelsKeepStructure) {
+  const graph g = grid3d_graph(1000, true, 11);
+  const auto ds = compute_degree_stats(g);
+  EXPECT_EQ(ds.min, 6u);
+  EXPECT_EQ(ds.max, 6u);
+  EXPECT_EQ(count_components(g), 1u);
+}
+
+TEST(Grid3d, RoundsToNearestCube) {
+  EXPECT_EQ(grid3d_graph(4000, false).num_vertices(), 4096u);  // 16^3
+}
+
+TEST(LineGraph, PathStructure) {
+  const graph g = line_graph(5000);
+  expect_clean(g);
+  EXPECT_EQ(g.num_edges(), 2 * 4999u);
+  const auto ds = compute_degree_stats(g);
+  EXPECT_EQ(ds.min, 1u);
+  EXPECT_EQ(ds.max, 2u);
+  EXPECT_EQ(count_components(g), 1u);
+  // Diameter is n-1: eccentricity from an endpoint.
+  EXPECT_EQ(bfs_eccentricity(g, 0), 4999u);
+}
+
+TEST(LineGraph, Degenerate) {
+  EXPECT_EQ(line_graph(0).num_vertices(), 0u);
+  EXPECT_EQ(line_graph(1).num_edges(), 0u);
+  EXPECT_EQ(line_graph(2).num_edges(), 2u);
+}
+
+TEST(SocialNetworkLike, DenseSkewedSingleGiant) {
+  const graph g = social_network_like(2048, 13);
+  expect_clean(g);
+  const auto ds = compute_degree_stats(g);
+  EXPECT_GT(ds.mean, 20.0);  // com-Orkut density regime
+  const auto sizes = component_sizes(reference_components(g));
+  EXPECT_GT(sizes[0], g.num_vertices() / 2);  // giant component
+}
+
+TEST(CycleGraph, AllDegreeTwoOneComponent) {
+  const graph g = cycle_graph(100);
+  const auto ds = compute_degree_stats(g);
+  EXPECT_EQ(ds.min, 2u);
+  EXPECT_EQ(ds.max, 2u);
+  EXPECT_EQ(count_components(g), 1u);
+}
+
+TEST(StarGraph, HubAndLeaves) {
+  const graph g = star_graph(100);
+  EXPECT_EQ(g.degree(0), 99u);
+  for (vertex_id v = 1; v < 100; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(CompleteGraph, AllPairs) {
+  const graph g = complete_graph(20);
+  EXPECT_EQ(g.num_edges(), 20u * 19u);
+  expect_clean(g);
+}
+
+TEST(BinaryTree, TreeEdgeCount) {
+  const graph g = binary_tree_graph(127);
+  EXPECT_EQ(g.num_undirected_edges(), 126u);
+  EXPECT_EQ(count_components(g), 1u);
+}
+
+TEST(Grid2d, Structure) {
+  const graph g = grid2d_graph(10, 7);
+  EXPECT_EQ(g.num_vertices(), 70u);
+  EXPECT_EQ(g.num_undirected_edges(), 10 * 6 + 9 * 7u);
+  EXPECT_EQ(count_components(g), 1u);
+}
+
+TEST(CliquesWithBridges, SingleComponentDenseBlocks) {
+  const graph g = cliques_with_bridges(5, 6);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  EXPECT_EQ(count_components(g), 1u);
+  EXPECT_EQ(g.num_undirected_edges(), 5 * 15 + 4u);
+}
+
+TEST(DisjointUnion, ComponentsAdd) {
+  const graph g =
+      disjoint_union({cycle_graph(10), complete_graph(5), empty_graph(4)});
+  EXPECT_EQ(g.num_vertices(), 19u);
+  EXPECT_EQ(count_components(g), 6u);
+  expect_clean(g);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const graph g = erdos_renyi(400, 0.05, 17);
+  const double expected = 0.05 * 400 * 399 / 2;
+  EXPECT_GT(g.num_undirected_edges(), expected * 0.8);
+  EXPECT_LT(g.num_undirected_edges(), expected * 1.2);
+  expect_clean(g);
+}
+
+TEST(EmptyGraph, NoEdges) {
+  const graph g = empty_graph(42);
+  EXPECT_EQ(g.num_vertices(), 42u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(count_components(g), 42u);
+}
+
+}  // namespace
+}  // namespace pcc::graph

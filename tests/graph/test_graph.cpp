@@ -1,0 +1,54 @@
+// CSR graph invariants and accessors.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace pcc::graph {
+namespace {
+
+TEST(Graph, DefaultIsEmpty) {
+  graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Graph, OffsetsAndDegrees) {
+  // 0 -> {1, 2}, 1 -> {0}, 2 -> {0}, 3 -> {}
+  graph g({0, 2, 3, 4, 4}, {1, 2, 0, 0});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_undirected_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_EQ(g.offset(0), 0u);
+  EXPECT_EQ(g.offset(2), 3u);
+}
+
+TEST(Graph, NeighborsSpan) {
+  graph g({0, 2, 3, 4, 4}, {1, 2, 0, 0});
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(Graph, MoveSemantics) {
+  graph g({0, 1, 1}, {1});
+  graph h = std::move(g);
+  EXPECT_EQ(h.num_vertices(), 2u);
+  EXPECT_EQ(h.num_edges(), 1u);
+}
+
+TEST(Graph, EdgeListAlias) {
+  edge_list el = {{0, 1}, {1, 2}};
+  EXPECT_EQ(el.size(), 2u);
+  EXPECT_EQ(el[1].second, 2u);
+}
+
+}  // namespace
+}  // namespace pcc::graph

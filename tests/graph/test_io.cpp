@@ -1,0 +1,147 @@
+// Graph I/O: round trips, format details, error handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+
+namespace pcc::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pcc_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, AdjacencyGraphRoundTrip) {
+  const graph g = rmat_graph(512, 2000, 3);
+  write_adjacency_graph(g, path("g.adj"));
+  const graph h = read_adjacency_graph(path("g.adj"));
+  EXPECT_EQ(h.offsets(), g.offsets());
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST_F(IoTest, AdjacencyGraphEmpty) {
+  const graph g = empty_graph(7);
+  write_adjacency_graph(g, path("e.adj"));
+  const graph h = read_adjacency_graph(path("e.adj"));
+  EXPECT_EQ(h.num_vertices(), 7u);
+  EXPECT_EQ(h.num_edges(), 0u);
+}
+
+TEST_F(IoTest, AdjacencyGraphKnownBytes) {
+  std::ofstream out(path("k.adj"));
+  out << "AdjacencyGraph\n3\n4\n0\n2\n3\n1\n2\n0\n0\n";
+  out.close();
+  const graph g = read_adjacency_graph(path("k.adj"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.neighbors(0)[1], 2u);
+  EXPECT_EQ(g.neighbors(2)[0], 0u);
+}
+
+TEST_F(IoTest, AdjacencyGraphRejectsBadHeader) {
+  std::ofstream(path("bad.adj")) << "WeightedAdjacencyGraph\n1\n0\n0\n";
+  EXPECT_THROW(read_adjacency_graph(path("bad.adj")), std::runtime_error);
+}
+
+TEST_F(IoTest, AdjacencyGraphRejectsTruncation) {
+  std::ofstream(path("trunc.adj")) << "AdjacencyGraph\n3\n4\n0\n2\n";
+  EXPECT_THROW(read_adjacency_graph(path("trunc.adj")), std::runtime_error);
+}
+
+TEST_F(IoTest, AdjacencyGraphRejectsOutOfRangeTarget) {
+  std::ofstream(path("oor.adj")) << "AdjacencyGraph\n2\n1\n0\n1\n5\n";
+  EXPECT_THROW(read_adjacency_graph(path("oor.adj")), std::runtime_error);
+}
+
+TEST_F(IoTest, AdjacencyGraphRejectsNonMonotoneOffsets) {
+  std::ofstream(path("mono.adj")) << "AdjacencyGraph\n3\n2\n0\n2\n1\n0\n0\n";
+  EXPECT_THROW(read_adjacency_graph(path("mono.adj")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTripExact) {
+  const graph g = rmat_graph(2048, 9000, 7);
+  write_binary_graph(g, path("g.badj"));
+  const graph h = read_binary_graph(path("g.badj"));
+  EXPECT_EQ(h.offsets(), g.offsets());
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST_F(IoTest, BinaryEmptyGraph) {
+  write_binary_graph(empty_graph(5), path("e.badj"));
+  const graph h = read_binary_graph(path("e.badj"));
+  EXPECT_EQ(h.num_vertices(), 5u);
+  EXPECT_EQ(h.num_edges(), 0u);
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagicAndTruncation) {
+  std::ofstream(path("junk.badj")) << "NOPEjunkjunk";
+  EXPECT_THROW(read_binary_graph(path("junk.badj")), std::runtime_error);
+
+  const graph g = cycle_graph(100);
+  write_binary_graph(g, path("t.badj"));
+  // Truncate the file mid-edges.
+  std::filesystem::resize_file(path("t.badj"), 4 + 16 + 101 * 8 + 10);
+  EXPECT_THROW(read_binary_graph(path("t.badj")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTextGraphFile) {
+  const graph g = cycle_graph(10);
+  write_adjacency_graph(g, path("text.adj"));
+  EXPECT_THROW(read_binary_graph(path("text.adj")), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_adjacency_graph(path("nope.adj")), std::runtime_error);
+  EXPECT_THROW(read_snap_edge_list(path("nope.txt")), std::runtime_error);
+  EXPECT_THROW(read_binary_graph(path("nope.badj")), std::runtime_error);
+}
+
+TEST_F(IoTest, SnapEdgeListRoundTripAsPartition) {
+  const graph g = random_graph(300, 3, 5);
+  write_edge_list(g, path("g.txt"));
+  const graph h = read_snap_edge_list(path("g.txt"));
+  // Vertex ids may be compacted/reordered, but component structure and
+  // edge count survive.
+  EXPECT_EQ(h.num_undirected_edges(), g.num_undirected_edges());
+  EXPECT_EQ(component_sizes(reference_components(h)),
+            component_sizes(reference_components(g)));
+}
+
+TEST_F(IoTest, SnapReaderHandlesCommentsAndWhitespace) {
+  std::ofstream out(path("s.txt"));
+  out << "# comment line\n"
+      << "10\t20\n"
+      << "\n"
+      << "20 30\n"
+      << "# trailing comment\n"
+      << "10 30\n";
+  out.close();
+  const graph g = read_snap_edge_list(path("s.txt"));
+  EXPECT_EQ(g.num_vertices(), 3u);  // ids compacted
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  EXPECT_TRUE(is_symmetric(g));
+}
+
+TEST_F(IoTest, SnapReaderRejectsGarbage) {
+  std::ofstream(path("bad.txt")) << "1 two\n";
+  EXPECT_THROW(read_snap_edge_list(path("bad.txt")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pcc::graph

@@ -1,0 +1,104 @@
+// Structural queries: degree stats, symmetry/self-loop/duplicate checks,
+// the sequential reference-components oracle itself, eccentricity.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace pcc::graph {
+namespace {
+
+TEST(DegreeStats, MixedDegrees) {
+  const graph g = star_graph(11);  // hub degree 10, leaves degree 1
+  const auto ds = compute_degree_stats(g);
+  EXPECT_EQ(ds.min, 1u);
+  EXPECT_EQ(ds.max, 10u);
+  EXPECT_NEAR(ds.mean, 20.0 / 11.0, 1e-9);
+  EXPECT_EQ(ds.isolated, 0u);
+}
+
+TEST(DegreeStats, CountsIsolated) {
+  const graph g = disjoint_union({empty_graph(3), cycle_graph(4)});
+  EXPECT_EQ(compute_degree_stats(g).isolated, 3u);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const auto ds = compute_degree_stats(empty_graph(0));
+  EXPECT_EQ(ds.min, 0u);
+  EXPECT_EQ(ds.max, 0u);
+}
+
+TEST(Symmetry, DetectsAsymmetry) {
+  // Directed edge only.
+  const graph g = from_edges(2, {{0, 1}},
+                             {.symmetrize = false,
+                              .remove_self_loops = true,
+                              .remove_duplicates = true});
+  EXPECT_FALSE(is_symmetric(g));
+  EXPECT_TRUE(is_symmetric(from_edges(2, {{0, 1}})));
+}
+
+TEST(SelfLoops, Detection) {
+  EXPECT_FALSE(has_self_loops(cycle_graph(5)));
+  const graph g = from_edges(2, {{1, 1}},
+                             {.symmetrize = false,
+                              .remove_self_loops = false,
+                              .remove_duplicates = false});
+  EXPECT_TRUE(has_self_loops(g));
+}
+
+TEST(Duplicates, Detection) {
+  EXPECT_FALSE(has_duplicate_edges(complete_graph(5)));
+  const graph g = from_edges(2, {{0, 1}, {0, 1}},
+                             {.symmetrize = false,
+                              .remove_self_loops = false,
+                              .remove_duplicates = false});
+  EXPECT_TRUE(has_duplicate_edges(g));
+}
+
+TEST(ReferenceComponents, KnownPartition) {
+  // {0,1,2} triangle, {3,4} edge, {5} isolated.
+  const graph g = from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  const auto labels = reference_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[0], labels[5]);
+  EXPECT_NE(labels[3], labels[5]);
+  // Labels are the smallest member id (BFS from low ids first).
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[5], 5u);
+}
+
+TEST(CountComponents, Various) {
+  EXPECT_EQ(count_components(empty_graph(4)), 4u);
+  EXPECT_EQ(count_components(cycle_graph(9)), 1u);
+  EXPECT_EQ(count_components(disjoint_union({cycle_graph(3), cycle_graph(4),
+                                             empty_graph(2)})),
+            4u);
+}
+
+TEST(Eccentricity, PathEndpoints) {
+  const graph g = line_graph(100);
+  EXPECT_EQ(bfs_eccentricity(g, 0), 99u);
+  EXPECT_EQ(bfs_eccentricity(g, 50), 50u);
+}
+
+TEST(Eccentricity, IgnoresOtherComponents) {
+  const graph g = disjoint_union({line_graph(10), line_graph(50)});
+  EXPECT_EQ(bfs_eccentricity(g, 0), 9u);
+}
+
+TEST(ComponentSizes, SortedDescending) {
+  const graph g =
+      disjoint_union({cycle_graph(20), cycle_graph(5), empty_graph(1)});
+  const auto sizes = component_sizes(reference_components(g));
+  EXPECT_EQ(sizes, (std::vector<size_t>{20, 5, 1}));
+}
+
+}  // namespace
+}  // namespace pcc::graph

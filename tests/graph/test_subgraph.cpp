@@ -1,0 +1,94 @@
+// Subgraph extraction: induced subgraphs, component extraction, largest
+// component — structure, renumbering, id maps.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/subgraph.hpp"
+
+namespace pcc::graph {
+namespace {
+
+TEST(InducedSubgraph, KeepNothingAndEverything) {
+  const graph g = cycle_graph(10);
+  const graph none = induced_subgraph(g, std::vector<uint8_t>(10, 0));
+  EXPECT_EQ(none.num_vertices(), 0u);
+  EXPECT_EQ(none.num_edges(), 0u);
+  const graph all = induced_subgraph(g, std::vector<uint8_t>(10, 1));
+  EXPECT_EQ(all.num_vertices(), 10u);
+  EXPECT_EQ(all.num_edges(), g.num_edges());
+}
+
+TEST(InducedSubgraph, DropsCrossEdgesAndRenumbers) {
+  // Path 0-1-2-3-4; keep {0, 1, 3, 4}: edges 0-1 and 3-4 survive.
+  const graph g = line_graph(5);
+  std::vector<vertex_id> old_ids;
+  const graph s = induced_subgraph(g, {1, 1, 0, 1, 1}, &old_ids);
+  EXPECT_EQ(s.num_vertices(), 4u);
+  EXPECT_EQ(s.num_undirected_edges(), 2u);
+  EXPECT_EQ(old_ids, (std::vector<vertex_id>{0, 1, 3, 4}));
+  EXPECT_TRUE(is_symmetric(s));
+  // New vertex 1 (old 1) connects only to new 0 (old 0).
+  ASSERT_EQ(s.degree(1), 1u);
+  EXPECT_EQ(s.neighbors(1)[0], 0u);
+}
+
+TEST(InducedSubgraph, PreservesInternalStructure) {
+  // Keep one clique out of a bridged chain; it comes back complete.
+  const graph g = cliques_with_bridges(3, 5);
+  std::vector<uint8_t> keep(15, 0);
+  for (size_t v = 5; v < 10; ++v) keep[v] = 1;  // middle clique
+  const graph s = induced_subgraph(g, keep);
+  EXPECT_EQ(s.num_vertices(), 5u);
+  EXPECT_EQ(s.num_undirected_edges(), 10u);  // K5
+}
+
+TEST(ExtractComponent, PullsExactlyOneComponent) {
+  const graph g = disjoint_union({cycle_graph(6), complete_graph(4),
+                                  empty_graph(2)});
+  const auto labels = reference_components(g);
+  std::vector<vertex_id> old_ids;
+  const graph comp = extract_component(g, labels, labels[6], &old_ids);
+  EXPECT_EQ(comp.num_vertices(), 4u);
+  EXPECT_EQ(comp.num_undirected_edges(), 6u);  // K4
+  EXPECT_EQ(old_ids, (std::vector<vertex_id>{6, 7, 8, 9}));
+}
+
+TEST(LargestComponent, PicksTheBiggest) {
+  const graph g = disjoint_union({cycle_graph(5), grid2d_graph(4, 5),
+                                  star_graph(3)});
+  std::vector<vertex_id> old_ids;
+  const graph big = largest_component(g, &old_ids);
+  EXPECT_EQ(big.num_vertices(), 20u);
+  EXPECT_EQ(count_components(big), 1u);
+  // old ids are the grid's vertices (offset 5).
+  EXPECT_EQ(old_ids.front(), 5u);
+  EXPECT_EQ(old_ids.back(), 24u);
+}
+
+TEST(LargestComponent, EmptyGraph) {
+  EXPECT_EQ(largest_component(empty_graph(0)).num_vertices(), 0u);
+  // All-isolated graph: any single vertex qualifies.
+  EXPECT_EQ(largest_component(empty_graph(5)).num_vertices(), 1u);
+}
+
+TEST(InducedSubgraph, LargeRandomKeepHalf) {
+  const graph g = random_graph(20000, 4, 3);
+  std::vector<uint8_t> keep(g.num_vertices());
+  for (size_t v = 0; v < keep.size(); ++v) keep[v] = v % 2;
+  std::vector<vertex_id> old_ids;
+  const graph s = induced_subgraph(g, keep, &old_ids);
+  EXPECT_EQ(s.num_vertices(), g.num_vertices() / 2);
+  EXPECT_TRUE(is_symmetric(s));
+  // Spot-check adjacency against the original.
+  for (size_t v = 0; v < s.num_vertices(); v += 997) {
+    for (vertex_id w : s.neighbors(static_cast<vertex_id>(v))) {
+      const auto nbrs = g.neighbors(old_ids[v]);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), old_ids[w]), nbrs.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcc::graph

@@ -1,0 +1,103 @@
+// Phase-concurrent hash map: insert semantics, first-writer-wins values,
+// concurrent duplicate collapsing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "parallel/hash_map.hpp"
+
+namespace pcc::parallel {
+namespace {
+
+TEST(HashMap, InsertAndFind) {
+  hash_map64 m(10);
+  EXPECT_TRUE(m.insert(5, 50));
+  EXPECT_FALSE(m.insert(5, 99));  // first writer wins
+  uint64_t v = 0;
+  ASSERT_TRUE(m.find(5, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_FALSE(m.find(6, nullptr));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(HashMap, ManySequentialInserts) {
+  hash_map64 m(1000);
+  for (uint64_t k = 0; k < 1000; ++k) m.insert(k * 3 + 1, k);
+  EXPECT_EQ(m.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(m.find(k * 3 + 1, &v));
+    EXPECT_EQ(v, k);
+  }
+}
+
+TEST(HashMap, ElementsMatchContents) {
+  hash_map64 m(100);
+  std::map<uint64_t, uint64_t> expected;
+  for (uint64_t k = 1; k <= 100; ++k) {
+    m.insert(hash64(k), k);
+    expected[hash64(k)] = k;
+  }
+  auto elems = m.elements();
+  ASSERT_EQ(elems.size(), expected.size());
+  for (const auto& [k, v] : elems) {
+    ASSERT_TRUE(expected.contains(k));
+    EXPECT_EQ(expected[k], v);
+  }
+}
+
+TEST(HashMap, ConcurrentDistinctKeys) {
+  constexpr size_t kN = 100000;
+  hash_map64 m(kN);
+  parallel_for(0, kN, [&](size_t i) { m.insert(hash64(i) | 1, i); }, 64);
+  EXPECT_EQ(m.size(), kN);
+  for (size_t i = 0; i < kN; i += 997) {
+    uint64_t v = 0;
+    ASSERT_TRUE(m.find(hash64(i) | 1, &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(HashMap, ConcurrentDuplicateKeysKeepOneProposedValue) {
+  // 16 proposals per key; exactly one insert succeeds per key and the
+  // stored value is one of the proposals for that key.
+  constexpr size_t kKeys = 10000;
+  hash_map64 m(kKeys);
+  size_t inserted = 0;
+  parallel_for(0, kKeys * 16, [&](size_t i) {
+    const uint64_t key = (i % kKeys) + 1;
+    if (m.insert(key, key * 100 + i / kKeys)) {
+      fetch_add<size_t>(&inserted, 1);
+    }
+  }, 64);
+  EXPECT_EQ(inserted, kKeys);
+  EXPECT_EQ(m.size(), kKeys);
+  for (uint64_t key = 1; key <= kKeys; key += 71) {
+    uint64_t v = 0;
+    ASSERT_TRUE(m.find(key, &v));
+    EXPECT_EQ(v / 100, key);   // value belongs to this key
+    EXPECT_LT(v % 100, 16u);   // and is one of the 16 proposals
+  }
+}
+
+TEST(HashMap, CollidingKeysProbeCorrectly) {
+  hash_map64 m(512);
+  for (uint64_t k = 1; k <= 512; ++k) m.insert(k << 40, k);
+  EXPECT_EQ(m.size(), 512u);
+  for (uint64_t k = 1; k <= 512; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(m.find(k << 40, &v));
+    EXPECT_EQ(v, k);
+  }
+}
+
+TEST(HashMap, EmptyMap) {
+  hash_map64 m(0);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.elements().empty());
+}
+
+}  // namespace
+}  // namespace pcc::parallel

@@ -1,0 +1,89 @@
+// Phase-concurrent hash set: set semantics, concurrent insert phases,
+// duplicate collapsing (its job in edge deduplication), and load behaviour.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "parallel/hash_table.hpp"
+
+namespace pcc::parallel {
+namespace {
+
+TEST(HashSet, InsertReportsNovelty) {
+  hash_set64 s(10);
+  EXPECT_TRUE(s.insert(42));
+  EXPECT_FALSE(s.insert(42));
+  EXPECT_TRUE(s.insert(43));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(HashSet, ContainsAfterInsertPhase) {
+  hash_set64 s(100);
+  for (uint64_t k = 0; k < 100; ++k) s.insert(k * 7919);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(s.contains(k * 7919));
+    EXPECT_FALSE(s.contains(k * 7919 + 1));
+  }
+}
+
+TEST(HashSet, CapacityKeepsLoadUnderHalf) {
+  hash_set64 s(1000);
+  EXPECT_GE(s.capacity(), 2001u);
+}
+
+TEST(HashSet, ElementsReturnsExactSet) {
+  hash_set64 s(500);
+  std::unordered_set<uint64_t> expected;
+  for (uint64_t k = 0; k < 500; ++k) {
+    const uint64_t key = hash64(k) | 1;  // never the empty sentinel
+    s.insert(key);
+    expected.insert(key);
+  }
+  const auto got = s.elements();
+  EXPECT_EQ(got.size(), expected.size());
+  for (uint64_t k : got) EXPECT_TRUE(expected.contains(k));
+}
+
+TEST(HashSet, ConcurrentInsertsOfDistinctKeys) {
+  constexpr size_t kN = 200000;
+  hash_set64 s(kN);
+  parallel_for(0, kN, [&](size_t i) { s.insert(hash64(i) | 1); }, 64);
+  EXPECT_EQ(s.size(), kN);  // hash64 is injective-in-practice at this scale
+}
+
+TEST(HashSet, ConcurrentDuplicateInsertsCollapse) {
+  // Every key inserted 8 times concurrently; exactly one copy survives and
+  // exactly one inserter per key reports novelty.
+  constexpr size_t kKeys = 20000;
+  hash_set64 s(kKeys);
+  size_t novel = 0;
+  parallel_for(0, kKeys * 8, [&](size_t i) {
+    if (s.insert((i % kKeys) + 1)) fetch_add<size_t>(&novel, 1);
+  }, 64);
+  EXPECT_EQ(novel, kKeys);
+  EXPECT_EQ(s.size(), kKeys);
+  auto elems = s.elements();
+  std::sort(elems.begin(), elems.end());
+  for (size_t i = 0; i < kKeys; ++i) ASSERT_EQ(elems[i], i + 1);
+}
+
+TEST(HashSet, AdversarialCollidingKeys) {
+  // Keys engineered to collide in the low bits stress linear probing.
+  hash_set64 s(4096);
+  for (uint64_t k = 1; k <= 4096; ++k) s.insert(k << 20);
+  EXPECT_EQ(s.size(), 4096u);
+  for (uint64_t k = 1; k <= 4096; ++k) EXPECT_TRUE(s.contains(k << 20));
+}
+
+TEST(HashSet, EmptyTable) {
+  hash_set64 s(0);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.elements().empty());
+  EXPECT_FALSE(s.contains(1));
+}
+
+}  // namespace
+}  // namespace pcc::parallel

@@ -1,0 +1,120 @@
+// Radix sort: ordering, stability, key-extractor sorting of pair arrays,
+// adversarial distributions, and sizes straddling the serial cutoff.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/integer_sort.hpp"
+#include "parallel/random.hpp"
+
+namespace pcc::parallel {
+namespace {
+
+class SortSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SortSizes, SortsRandom64BitKeys) {
+  const size_t n = GetParam();
+  rng gen(n);
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = gen[i];
+  std::vector<uint64_t> expected = v;
+  std::sort(expected.begin(), expected.end());
+  integer_sort_keys(v, 64);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortSizes, SortsSmallRangeKeys) {
+  const size_t n = GetParam();
+  rng gen(n + 1);
+  std::vector<uint32_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<uint32_t>(gen[i] % 10);
+  std::vector<uint32_t> expected = v;
+  std::sort(expected.begin(), expected.end());
+  integer_sort_keys(v, bits_needed(10));
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortSizes, StableOnPairsSortedByFirst) {
+  // Sort (key, sequence-number) pairs by key only; equal keys must keep
+  // their original relative order.
+  const size_t n = GetParam();
+  rng gen(n + 2);
+  std::vector<std::pair<uint32_t, uint32_t>> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = {static_cast<uint32_t>(gen[i] % 50), static_cast<uint32_t>(i)};
+  }
+  auto expected = v;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  integer_sort(v, bits_needed(50), [](const auto& p) { return p.first; });
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         ::testing::Values(0, 1, 2, 100, 8191, 8192, 8193,
+                                           50000, 300000),
+                         ::testing::PrintToStringParamName());
+
+TEST(IntegerSort, AlreadySorted) {
+  std::vector<uint64_t> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = i;
+  const auto expected = v;
+  integer_sort_keys(v, 20);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(IntegerSort, ReverseSorted) {
+  std::vector<uint64_t> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = v.size() - i;
+  integer_sort_keys(v, bits_needed(v.size() + 1));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(IntegerSort, AllEqualKeysPreserveOrder) {
+  std::vector<std::pair<uint32_t, uint32_t>> v(50000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = {7, static_cast<uint32_t>(i)};
+  integer_sort(v, 8, [](const auto& p) { return p.first; });
+  for (size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v[i].second, i);
+}
+
+TEST(IntegerSort, HighBitsOnlyKeys) {
+  // Keys that differ only above bit 32: catches truncated-pass bugs.
+  std::vector<uint64_t> v = {uint64_t{5} << 40, uint64_t{1} << 40,
+                             uint64_t{3} << 40, uint64_t{2} << 40};
+  integer_sort_keys(v, 48);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(IntegerSort, ExtractorCompactsSplitFields) {
+  // Regression for the builder bug this suite once had: (hi, lo) packed at
+  // bit 32 must sort correctly via a compacting extractor even when the
+  // requested bit budget is less than 32 + field width.
+  rng gen(3);
+  std::vector<uint64_t> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    const uint64_t hi = gen[2 * i] % 1000;
+    const uint64_t lo = gen[2 * i + 1] % 1000;
+    v[i] = (hi << 32) | lo;
+  }
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  const int b = bits_needed(1000);
+  integer_sort(v, 2 * b, [b](uint64_t p) {
+    return ((p >> 32) << b) | (p & ((uint64_t{1} << b) - 1));
+  });
+  EXPECT_EQ(v, expected);
+}
+
+TEST(BitsNeeded, Boundaries) {
+  EXPECT_EQ(bits_needed(1), 0);
+  EXPECT_EQ(bits_needed(2), 1);
+  EXPECT_EQ(bits_needed(3), 2);
+  EXPECT_EQ(bits_needed(256), 8);
+  EXPECT_EQ(bits_needed(257), 9);
+  EXPECT_EQ(bits_needed(uint64_t{1} << 31), 31);
+}
+
+}  // namespace
+}  // namespace pcc::parallel

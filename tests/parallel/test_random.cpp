@@ -1,0 +1,119 @@
+// Determinism and distribution sanity of the splittable RNG and the
+// parallel random permutation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "parallel/random.hpp"
+
+namespace pcc::parallel {
+namespace {
+
+TEST(Hash64, DeterministicAndSpreading) {
+  EXPECT_EQ(hash64(12345), hash64(12345));
+  EXPECT_NE(hash64(1), hash64(2));
+  // Avalanche smoke: flipping one input bit flips many output bits.
+  const int flipped = __builtin_popcountll(hash64(1) ^ hash64(3));
+  EXPECT_GT(flipped, 10);
+  EXPECT_LT(flipped, 54);
+}
+
+TEST(Rng, StreamsAreIndependentButReproducible) {
+  rng a(7);
+  rng b(7);
+  rng c(8);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[99], b[99]);
+  EXPECT_NE(a[0], c[0]);
+  EXPECT_NE(a.split(1)[0], a.split(2)[0]);
+  EXPECT_EQ(a.split(1)[5], b.split(1)[5]);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  rng gen(11);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.bounded(i, 17), 17u);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  rng gen(13);
+  double mn = 1.0;
+  double mx = 0.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = gen.uniform01(i);
+    ASSERT_GT(u, 0.0);
+    ASSERT_LE(u, 1.0);
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_LT(mn, 0.001);
+  EXPECT_GT(mx, 0.999);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  rng gen(17);
+  for (double lambda : {0.1, 0.5, 2.0}) {
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += gen.exponential(i, lambda);
+    // Mean of Exp(lambda) is 1/lambda; n large enough for ~1% accuracy.
+    EXPECT_NEAR(sum / n, 1.0 / lambda, 0.03 / lambda);
+  }
+}
+
+class PermutationSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PermutationSizes, IsAPermutation) {
+  const size_t n = GetParam();
+  const auto perm = random_permutation(n, 23);
+  ASSERT_EQ(perm.size(), n);
+  std::vector<uint8_t> seen(n, 0);
+  for (vertex_id p : perm) {
+    ASSERT_LT(p, n);
+    ASSERT_EQ(seen[p], 0) << "duplicate entry " << p;
+    seen[p] = 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizes,
+                         ::testing::Values(0, 1, 2, 10, 1000, 8192, 100000),
+                         ::testing::PrintToStringParamName());
+
+TEST(Permutation, DeterministicPerSeedDistinctAcrossSeeds) {
+  const auto a = random_permutation(5000, 1);
+  const auto b = random_permutation(5000, 1);
+  const auto c = random_permutation(5000, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Permutation, LooksUniform) {
+  // Position of element 0 averaged over seeds should be near n/2, and the
+  // permutation should not be the identity.
+  const size_t n = 1000;
+  double sum = 0;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    const auto perm = random_permutation(n, seed);
+    for (size_t i = 0; i < n; ++i) {
+      if (perm[i] == 0) sum += static_cast<double>(i);
+    }
+  }
+  const double mean_pos = sum / 64.0;
+  EXPECT_GT(mean_pos, n * 0.35);
+  EXPECT_LT(mean_pos, n * 0.65);
+  const auto perm = random_permutation(n, 3);
+  size_t fixed = 0;
+  for (size_t i = 0; i < n; ++i) fixed += perm[i] == i ? 1 : 0;
+  EXPECT_LT(fixed, 20u);  // E[fixed points] = 1
+}
+
+}  // namespace
+}  // namespace pcc::parallel

@@ -1,0 +1,122 @@
+// sample_sort (comparison sort) and histogram.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "parallel/histogram.hpp"
+#include "parallel/random.hpp"
+#include "parallel/sample_sort.hpp"
+
+namespace pcc::parallel {
+namespace {
+
+class SampleSortSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SampleSortSizes, SortsRandomUint64) {
+  const size_t n = GetParam();
+  rng gen(n);
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = gen[i];
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  sample_sort(v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SampleSortSizes, SortsDoublesDescending) {
+  const size_t n = GetParam();
+  rng gen(n + 1);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = gen.uniform01(i) - 0.5;
+  auto expected = v;
+  std::sort(expected.begin(), expected.end(), std::greater<double>());
+  sample_sort(v, std::greater<double>());
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SampleSortSizes,
+                         ::testing::Values(0, 1, 100, 16383, 16384, 16385,
+                                           100000, 400000),
+                         ::testing::PrintToStringParamName());
+
+TEST(SampleSort, ManyDuplicates) {
+  rng gen(7);
+  std::vector<uint32_t> v(200000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<uint32_t>(gen[i] % 5);
+  }
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  sample_sort(v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(SampleSort, AlreadySortedAndReversed) {
+  std::vector<int> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+  auto asc = v;
+  sample_sort(asc);
+  EXPECT_TRUE(std::is_sorted(asc.begin(), asc.end()));
+  std::reverse(v.begin(), v.end());
+  sample_sort(v);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(SampleSort, Strings) {
+  rng gen(9);
+  std::vector<std::string> v(30000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::to_string(gen[i] % 100000);
+  }
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  sample_sort(v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(Histogram, ExactCountsSmallBuckets) {
+  const size_t n = 300000;
+  rng gen(11);
+  std::vector<uint32_t> keys(n);
+  std::vector<size_t> expected(17, 0);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<uint32_t>(gen[i] % 17);
+    ++expected[keys[i]];
+  }
+  EXPECT_EQ(histogram(n, 17, [&](size_t i) { return keys[i]; }), expected);
+}
+
+TEST(Histogram, HugeBucketRangeFallsBackToAtomic) {
+  const size_t n = 100000;
+  const size_t buckets = 1 << 22;  // forces the sparse path
+  rng gen(13);
+  std::vector<uint32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<uint32_t>(gen[i] % buckets);
+  }
+  const auto counts = histogram(n, buckets, [&](size_t i) { return keys[i]; });
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  EXPECT_EQ(total, n);
+  // Spot check a few keys.
+  for (size_t i = 0; i < n; i += 9973) {
+    EXPECT_GE(counts[keys[i]], 1u);
+  }
+}
+
+TEST(Histogram, EmptyInputs) {
+  EXPECT_EQ(histogram(0, 5, [](size_t) { return 0; }),
+            std::vector<size_t>(5, 0));
+  EXPECT_TRUE(histogram(0, 0, [](size_t) { return 0; }).empty());
+}
+
+TEST(Histogram, SingleBucket) {
+  EXPECT_EQ(histogram(1000, 1, [](size_t) { return 0; }),
+            std::vector<size_t>{1000});
+}
+
+}  // namespace
+}  // namespace pcc::parallel

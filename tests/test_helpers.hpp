@@ -1,0 +1,81 @@
+// Shared fixtures and graph corpus for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pcc.hpp"
+
+namespace pcc::testing {
+
+// A named graph factory — the corpus the parameterized correctness sweeps
+// run over. Sizes are chosen so that each case covers several BFS rounds
+// and at least one contraction level while the full matrix stays fast.
+struct graph_case {
+  std::string name;
+  std::function<graph::graph()> make;
+};
+
+inline std::vector<graph_case> correctness_corpus() {
+  using namespace pcc::graph;
+  return {
+      {"empty0", [] { return empty_graph(0); }},
+      {"empty1", [] { return empty_graph(1); }},
+      {"isolated100", [] { return empty_graph(100); }},
+      {"single_edge",
+       [] {
+         return from_edges(2, {{0, 1}});
+       }},
+      {"triangle",
+       [] {
+         return from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+       }},
+      {"two_triangles",
+       [] {
+         return from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+       }},
+      {"line1000", [] { return line_graph(1000); }},
+      {"line_relabel1000", [] { return line_graph(1000, true, 3); }},
+      {"cycle999", [] { return cycle_graph(999); }},
+      {"star2000", [] { return star_graph(2000); }},
+      {"complete60", [] { return complete_graph(60); }},
+      {"binary_tree4095", [] { return binary_tree_graph(4095); }},
+      {"grid2d_40x25", [] { return grid2d_graph(40, 25); }},
+      {"grid3d_4096", [] { return grid3d_graph(4096, true, 5); }},
+      {"random5k_deg5", [] { return random_graph(5000, 5, 7); }},
+      {"random5k_deg2", [] { return random_graph(5000, 2, 9); }},
+      {"rmat8k", [] { return rmat_graph(8192, 40000, 11); }},
+      {"rmat_sparse", [] { return rmat_graph(4096, 6000, 13); }},
+      {"er_p001", [] { return erdos_renyi(800, 0.001, 15); }},
+      {"er_p01", [] { return erdos_renyi(300, 0.01, 17); }},
+      {"cliques_bridged", [] { return cliques_with_bridges(20, 12); }},
+      {"rmat2_dense", [] { return rmat_graph(512, 20000, 19); }},
+      {"orkut_like", [] { return social_network_like(600, 23); }},
+      {"grid2d_tall", [] { return grid2d_graph(500, 4); }},
+      {"two_cliques_bridge", [] { return cliques_with_bridges(2, 30); }},
+      {"many_components",
+       [] {
+         std::vector<pcc::graph::graph> parts;
+         parts.push_back(cycle_graph(50));
+         parts.push_back(star_graph(40));
+         parts.push_back(complete_graph(20));
+         parts.push_back(empty_graph(30));
+         parts.push_back(line_graph(60));
+         parts.push_back(binary_tree_graph(31));
+         return disjoint_union(parts);
+       }},
+  };
+}
+
+// Pretty parameter names for INSTANTIATE_TEST_SUITE_P.
+struct graph_case_name {
+  template <typename ParamType>
+  std::string operator()(const ::testing::TestParamInfo<ParamType>& info) const {
+    return info.param.name;
+  }
+};
+
+}  // namespace pcc::testing

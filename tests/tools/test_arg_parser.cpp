@@ -1,0 +1,69 @@
+// The tools' flag parser.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tool_common.hpp"
+
+namespace pcc::tools {
+namespace {
+
+arg_parser parse(std::vector<const char*> argv) {
+  return arg_parser(static_cast<int>(argv.size()),
+                    const_cast<char**>(argv.data()));
+}
+
+TEST(ArgParser, KeyValuePairsAndPositionals) {
+  const auto args =
+      parse({"prog", "--type", "rmat", "input.adj", "--n", "100"});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.get("type", ""), "rmat");
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positionals()[0], "input.adj");
+}
+
+TEST(ArgParser, Defaults) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 0.25), 0.25);
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_TRUE(args.positionals().empty());
+}
+
+TEST(ArgParser, BooleanFlags) {
+  // A flag followed by another flag (or end of argv) is boolean.
+  const auto args = parse({"prog", "--verify", "--stats", "--out", "f.txt"});
+  EXPECT_TRUE(args.has("verify"));
+  EXPECT_TRUE(args.has("stats"));
+  EXPECT_EQ(args.get("verify", "x"), "");
+  EXPECT_EQ(args.get("out", ""), "f.txt");
+}
+
+TEST(ArgParser, TrailingBooleanFlag) {
+  const auto args = parse({"prog", "in.adj", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.positionals().size(), 1u);
+}
+
+TEST(ArgParser, NumericParsing) {
+  const auto args = parse({"prog", "--beta", "0.125", "--n", "5000000000"});
+  EXPECT_DOUBLE_EQ(args.get_double("beta", 0), 0.125);
+  EXPECT_EQ(args.get_int("n", 0), 5000000000LL);  // 64-bit values survive
+}
+
+TEST(ArgParser, LastOccurrenceWins) {
+  const auto args = parse({"prog", "--n", "1", "--n", "2"});
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+TEST(ArgParser, MultiplePositionalsKeepOrder) {
+  const auto args = parse({"prog", "a", "--k", "v", "b", "c"});
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace pcc::tools

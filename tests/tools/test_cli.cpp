@@ -1,0 +1,144 @@
+// End-to-end tests of the command-line tools (pcc_gen, pcc_components):
+// spawn the real binaries, check exit codes and output files.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+
+#ifndef PCC_TOOLS_DIR
+#error "PCC_TOOLS_DIR must be defined by the build"
+#endif
+
+namespace pcc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("pcc_cli_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static int run(const std::string& cmd) {
+    const int status = std::system((cmd + " > /dev/null 2>&1").c_str());
+    return WEXITSTATUS(status);
+  }
+
+  static std::string tool(const std::string& name) {
+    return std::string(PCC_TOOLS_DIR) + "/" + name;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliTest, GenWritesReadableAdjacencyGraph) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type random --n 500 --degree 3 --seed 7 " +
+                path("g.adj")),
+            0);
+  const graph::graph g = graph::read_adjacency_graph(path("g.adj"));
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_TRUE(graph::is_symmetric(g));
+}
+
+TEST_F(CliTest, GenSnapFormat) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type cycle --n 40 --format snap " +
+                path("g.txt")),
+            0);
+  const graph::graph g = graph::read_snap_edge_list(path("g.txt"));
+  EXPECT_EQ(g.num_vertices(), 40u);
+  EXPECT_EQ(g.num_undirected_edges(), 40u);
+}
+
+TEST_F(CliTest, GenRejectsBadArgs) {
+  EXPECT_NE(run(tool("pcc_gen") + " --type nosuch --n 10 " + path("x.adj")), 0);
+  EXPECT_NE(run(tool("pcc_gen") + " --n 10 " + path("x.adj")), 0);
+  EXPECT_NE(run(tool("pcc_gen")), 0);
+}
+
+TEST_F(CliTest, ComponentsEndToEndWithVerifyAndLabels) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type rmat --n 1024 --m 3000 --seed 3 " +
+                path("g.adj")),
+            0);
+  ASSERT_EQ(run(tool("pcc_components") + " " + path("g.adj") +
+                " --verify --stats --out " + path("labels.txt")),
+            0);
+  // Labels file: one label per vertex.
+  std::ifstream in(path("labels.txt"));
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1024u);
+}
+
+TEST_F(CliTest, ComponentsAllAlgorithmsAgreeViaVerify) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type random --n 800 --degree 2 --seed 5 " +
+                path("g.adj")),
+            0);
+  for (const char* algo :
+       {"decomp-arb-hybrid", "decomp-arb", "decomp-min", "serial-sf",
+        "parallel-sf-prm", "parallel-sf-pbbs", "hybrid-bfs", "multistep",
+        "label-prop", "shiloach-vishkin", "random-mate",
+        "awerbuch-shiloach", "serial-sf-rem", "parallel-sf-rem",
+        "afforest"}) {
+    EXPECT_EQ(run(tool("pcc_components") + " " + path("g.adj") +
+                  " --algo " + algo + " --verify"),
+              0)
+        << algo;
+  }
+}
+
+TEST_F(CliTest, ComponentsWritesSpanningForest) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type random --n 600 --degree 3 --seed 9 " +
+                path("g.adj")),
+            0);
+  ASSERT_EQ(run(tool("pcc_components") + " " + path("g.adj") + " --forest " +
+                path("forest.txt")),
+            0);
+  std::ifstream in(path("forest.txt"));
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.rfind("# spanning forest", 0), 0u);
+  size_t edges = 0;
+  std::string line;
+  while (std::getline(in, line)) ++edges;
+  const graph::graph g = graph::read_adjacency_graph(path("g.adj"));
+  EXPECT_EQ(edges, g.num_vertices() - graph::count_components(g));
+}
+
+TEST_F(CliTest, BinaryFormatEndToEnd) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type grid3d --n 1000 --format badj " +
+                path("g.badj")),
+            0);
+  ASSERT_EQ(run(tool("pcc_components") + " --format badj " + path("g.badj") +
+                " --verify"),
+            0);
+}
+
+TEST_F(CliTest, FuzzSmoke) {
+  EXPECT_EQ(run(tool("pcc_fuzz") + " --trials 3 --max-n 300"), 0);
+}
+
+TEST_F(CliTest, ComponentsRejectsMissingFileAndBadAlgo) {
+  EXPECT_NE(run(tool("pcc_components") + " " + path("missing.adj")), 0);
+  ASSERT_EQ(run(tool("pcc_gen") + " --type cycle --n 10 " + path("g.adj")), 0);
+  EXPECT_NE(run(tool("pcc_components") + " " + path("g.adj") +
+                " --algo made-up"),
+            0);
+}
+
+}  // namespace
+}  // namespace pcc

@@ -1,0 +1,137 @@
+// pcc_components: run connectivity on a graph file and report / save the
+// labeling.
+//
+//   pcc_components input.adj
+//   pcc_components --format snap input.txt --algo decomp-arb-hybrid
+//   pcc_components input.adj --beta 0.1 --threads 8 --out labels.txt
+//   pcc_components input.adj --algo serial-sf --verify
+//
+// Algorithms: decomp-arb-hybrid (default), decomp-arb, decomp-min,
+// serial-sf, serial-sf-rem, parallel-sf-prm, parallel-sf-pbbs,
+// parallel-sf-rem, hybrid-bfs, multistep, label-prop, shiloach-vishkin,
+// random-mate, awerbuch-shiloach, afforest.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "pcc.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: pcc_components [--format {adj|badj|snap}] [--algo NAME] [--beta B]\n"
+    "                      [--seed S] [--threads T] [--out labels.txt]\n"
+    "                      [--stats] [--verify] [--forest forest.txt] INPUT\n";
+
+using namespace pcc;
+
+std::vector<vertex_id> run_algo(const std::string& algo, const graph::graph& g,
+                                double beta, uint64_t seed,
+                                cc::cc_stats* stats) {
+  const auto decomp = [&](cc::decomp_variant v) {
+    cc::cc_options opt;
+    opt.variant = v;
+    opt.beta = beta;
+    opt.seed = seed;
+    return cc::connected_components(g, opt, stats);
+  };
+  if (algo == "decomp-arb-hybrid") return decomp(cc::decomp_variant::kArbHybrid);
+  if (algo == "decomp-arb") return decomp(cc::decomp_variant::kArb);
+  if (algo == "decomp-min") return decomp(cc::decomp_variant::kMin);
+  if (algo == "serial-sf") return baselines::serial_sf_components(g);
+  if (algo == "serial-sf-rem") return baselines::serial_sf_rem_components(g);
+  if (algo == "parallel-sf-prm") return baselines::parallel_sf_prm_components(g);
+  if (algo == "parallel-sf-pbbs") return baselines::parallel_sf_pbbs_components(g);
+  if (algo == "hybrid-bfs") return baselines::hybrid_bfs_components(g);
+  if (algo == "multistep") return baselines::multistep_components(g);
+  if (algo == "label-prop") return baselines::label_prop_components(g);
+  if (algo == "shiloach-vishkin") return baselines::shiloach_vishkin_components(g);
+  if (algo == "random-mate") return baselines::random_mate_components(g, seed);
+  if (algo == "awerbuch-shiloach") return baselines::awerbuch_shiloach_components(g);
+  if (algo == "parallel-sf-rem") return baselines::parallel_sf_rem_components(g);
+  if (algo == "afforest") return baselines::afforest_components(g);
+  tools::usage_and_exit(kUsage);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::arg_parser args(argc, argv);
+  if (args.positionals().size() != 1) tools::usage_and_exit(kUsage);
+
+  const std::string input = args.positionals()[0];
+  const std::string format = args.get("format", "adj");
+  const std::string algo = args.get("algo", "decomp-arb-hybrid");
+  const double beta = args.get_double("beta", 0.2);
+  const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 42));
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  if (threads > 0) parallel::set_num_workers(threads);
+
+  graph::graph g;
+  try {
+    g = format == "snap"    ? graph::read_snap_edge_list(input)
+        : format == "badj" ? graph::read_binary_graph(input)
+                           : graph::read_adjacency_graph(input);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("loaded %s: n=%zu, m=%zu undirected edges\n", input.c_str(),
+              g.num_vertices(), g.num_undirected_edges());
+
+  cc::cc_stats stats;
+  parallel::timer t;
+  const std::vector<vertex_id> labels = run_algo(
+      algo, g, beta, seed, args.has("stats") ? &stats : nullptr);
+  const double elapsed = t.elapsed();
+
+  std::printf("%s: %zu component(s) in %.4fs on %d thread(s)\n", algo.c_str(),
+              cc::num_components(labels), elapsed, parallel::num_workers());
+
+  if (args.has("stats") && !stats.levels.empty()) {
+    std::printf("levels:\n");
+    for (size_t i = 0; i < stats.levels.size(); ++i) {
+      const auto& ls = stats.levels[i];
+      std::printf("  %zu: n=%zu m=%zu clusters=%zu rounds=%zu\n", i, ls.n,
+                  ls.m, ls.num_clusters, ls.bfs_rounds);
+    }
+  }
+
+  if (args.has("verify")) {
+    const bool ok = baselines::is_valid_components_labeling(g, labels);
+    std::printf("verification against sequential BFS: %s\n",
+                ok ? "passed" : "FAILED");
+    if (!ok) return 1;
+  }
+
+  const std::string forest_out = args.get("forest", "");
+  if (!forest_out.empty()) {
+    cc::sf_options sopt;
+    sopt.beta = beta;
+    sopt.seed = seed;
+    const auto forest = cc::spanning_forest(g, sopt);
+    std::ofstream f(forest_out);
+    f << "# spanning forest: " << forest.size() << " edges\n";
+    for (auto [u, w] : forest) f << u << '\t' << w << '\n';
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", forest_out.c_str());
+      return 1;
+    }
+    std::printf("spanning forest (%zu edges) written to %s\n", forest.size(),
+                forest_out.c_str());
+  }
+
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    std::ofstream f(out);
+    for (vertex_id l : labels) f << l << '\n';
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("labels written to %s\n", out.c_str());
+  }
+  return 0;
+}

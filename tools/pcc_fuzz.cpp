@@ -1,0 +1,174 @@
+// pcc_fuzz: differential testing harness. Generates random graphs across
+// generator families and sizes, runs EVERY connectivity implementation in
+// the library plus the spanning forest, and cross-checks all of them
+// against the sequential BFS oracle. Exits non-zero (and prints a
+// reproducer) on the first mismatch.
+//
+//   pcc_fuzz --trials 200 --max-n 5000 --seed 1
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pcc.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace pcc;
+
+graph::graph make_graph(uint64_t kind, size_t n, uint64_t seed) {
+  switch (kind % 7) {
+    case 0:
+      return graph::random_graph(n, 1 + seed % 6, seed);
+    case 1:
+      return graph::rmat_graph(n, 3 * n, seed);
+    case 2:
+      return graph::grid3d_graph(n, true, seed);
+    case 3:
+      return graph::line_graph(n, true, seed);
+    case 4:
+      return graph::erdos_renyi(std::min<size_t>(n, 400), 0.01, seed);
+    case 5:
+      return graph::cliques_with_bridges(1 + n / 50, 8);
+    default:
+      return graph::social_network_like(std::max<size_t>(n / 4, 32), seed);
+  }
+}
+
+const char* kind_name(uint64_t kind) {
+  static const char* names[] = {"random", "rmat",    "grid3d", "line",
+                                "er",     "cliques", "social"};
+  return names[kind % 7];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::arg_parser args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 50));
+  const size_t max_n = static_cast<size_t>(args.get_int("max-n", 4000));
+  const uint64_t base_seed = static_cast<uint64_t>(args.get_int("seed", 1));
+
+  struct impl {
+    std::string name;
+    std::function<std::vector<vertex_id>(const graph::graph&, uint64_t)> run;
+  };
+  const std::vector<impl> impls = {
+      {"decomp-min-CC",
+       [](const graph::graph& g, uint64_t s) {
+         cc::cc_options o;
+         o.variant = cc::decomp_variant::kMin;
+         o.seed = s;
+         o.beta = 0.05 + (s % 18) * 0.05;  // sweep beta with the seed
+         return cc::connected_components(g, o);
+       }},
+      {"decomp-arb-CC",
+       [](const graph::graph& g, uint64_t s) {
+         cc::cc_options o;
+         o.variant = cc::decomp_variant::kArb;
+         o.seed = s;
+         o.dedup = s % 2 == 0;
+         o.parallel_edge_threshold = s % 3 == 0 ? 16 : SIZE_MAX;
+         return cc::connected_components(g, o);
+       }},
+      {"decomp-arb-hybrid-CC",
+       [](const graph::graph& g, uint64_t s) {
+         cc::cc_options o;
+         o.variant = cc::decomp_variant::kArbHybrid;
+         o.seed = s;
+         o.shifts = s % 2 != 0 ? ldd::shift_mode::kExponentialShifts
+                               : ldd::shift_mode::kPermutationChunks;
+         o.dense_threshold = 0.05 + (s % 5) * 0.1;
+         return cc::connected_components(g, o);
+       }},
+      {"parallel-SF-PRM",
+       [](const graph::graph& g, uint64_t) {
+         return baselines::parallel_sf_prm_components(g);
+       }},
+      {"parallel-SF-PBBS",
+       [](const graph::graph& g, uint64_t) {
+         return baselines::parallel_sf_pbbs_components(g);
+       }},
+      {"parallel-SF-REM",
+       [](const graph::graph& g, uint64_t) {
+         return baselines::parallel_sf_rem_components(g);
+       }},
+      {"hybrid-BFS-CC",
+       [](const graph::graph& g, uint64_t) {
+         return baselines::hybrid_bfs_components(g);
+       }},
+      {"multistep-CC",
+       [](const graph::graph& g, uint64_t) {
+         return baselines::multistep_components(g);
+       }},
+      {"label-prop-CC",
+       [](const graph::graph& g, uint64_t) {
+         return baselines::label_prop_components(g);
+       }},
+      {"shiloach-vishkin-CC",
+       [](const graph::graph& g, uint64_t) {
+         return baselines::shiloach_vishkin_components(g);
+       }},
+      {"random-mate-CC",
+       [](const graph::graph& g, uint64_t s) {
+         return baselines::random_mate_components(g, s);
+       }},
+      {"awerbuch-shiloach-CC",
+       [](const graph::graph& g, uint64_t) {
+         return baselines::awerbuch_shiloach_components(g);
+       }},
+      {"afforest-CC",
+       [](const graph::graph& g, uint64_t) {
+         return baselines::afforest_components(g);
+       }},
+  };
+
+  parallel::rng gen(base_seed);
+  size_t checks = 0;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t kind = gen[3 * t];
+    const size_t n = 2 + gen.bounded(3 * t + 1, max_n);
+    const uint64_t seed = gen[3 * t + 2];
+    const graph::graph g = make_graph(kind, n, seed);
+    const auto oracle = graph::reference_components(g);
+
+    for (const auto& im : impls) {
+      if (!baselines::labels_equivalent(oracle, im.run(g, seed))) {
+        std::printf("MISMATCH: %s on %s n=%zu seed=%llu (trial %d)\n",
+                    im.name.c_str(), kind_name(kind), n,
+                    static_cast<unsigned long long>(seed), t);
+        return 1;
+      }
+      ++checks;
+    }
+
+    // Spanning forest: size + acyclicity + spanning.
+    cc::sf_options sopt;
+    sopt.seed = seed;
+    const auto forest = cc::spanning_forest(g, sopt);
+    size_t comps = 0;
+    for (size_t v = 0; v < oracle.size(); ++v) comps += oracle[v] == v ? 1 : 0;
+    if (forest.size() != g.num_vertices() - comps) {
+      std::printf("FOREST SIZE MISMATCH on %s n=%zu seed=%llu\n",
+                  kind_name(kind), n, static_cast<unsigned long long>(seed));
+      return 1;
+    }
+    baselines::union_find uf(g.num_vertices());
+    for (auto [u, w] : forest) {
+      if (!uf.unite(u, w)) {
+        std::printf("FOREST CYCLE on %s n=%zu seed=%llu\n", kind_name(kind), n,
+                    static_cast<unsigned long long>(seed));
+        return 1;
+      }
+    }
+    ++checks;
+
+    if ((t + 1) % 10 == 0) {
+      std::printf("  %d/%d trials, %zu checks OK\n", t + 1, trials, checks);
+    }
+  }
+  std::printf("fuzz passed: %d trials, %zu checks, no mismatches\n", trials,
+              checks);
+  return 0;
+}

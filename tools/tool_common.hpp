@@ -1,0 +1,62 @@
+// Minimal flag parsing shared by the command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pcc::tools {
+
+// Parses "--key value" pairs and bare positionals from argv.
+class arg_parser {
+ public:
+  arg_parser(int argc, char** argv) {
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          flags_[a.substr(2)] = argv[++i];
+        } else {
+          flags_[a.substr(2)] = "";  // boolean flag
+        }
+      } else {
+        positionals_.push_back(a);
+      }
+    }
+  }
+
+  const std::string& program() const { return program_; }
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool has(const std::string& key) const { return flags_.contains(key); }
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? dflt : it->second;
+  }
+
+  long long get_int(const std::string& key, long long dflt) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? dflt : std::atoll(it->second.c_str());
+  }
+
+  double get_double(const std::string& key, double dflt) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? dflt : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positionals_;
+};
+
+[[noreturn]] inline void usage_and_exit(const std::string& text) {
+  std::fprintf(stderr, "%s", text.c_str());
+  std::exit(2);
+}
+
+}  // namespace pcc::tools
