@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,12 +86,18 @@ struct cc_impl {
 };
 
 inline std::vector<cc_impl> table2_implementations() {
+  // Each decomp impl owns one cc_engine shared across every graph and
+  // trial, so the timed region excludes per-level allocation after the
+  // first (warm-up) trial — the measurement the paper's repeated-trials
+  // protocol wants.
   const auto decomp = [](cc::decomp_variant v) {
-    return [v](const graph::graph& g) {
-      cc::cc_options opt;
-      opt.variant = v;
-      opt.beta = 0.2;
-      return cc::connected_components(g, opt);
+    cc::cc_options opt;
+    opt.variant = v;
+    opt.beta = 0.2;
+    return [engine = std::make_shared<cc::cc_engine>(opt)](
+               const graph::graph& g) {
+      const std::span<const vertex_id> labels = engine->run(g);
+      return std::vector<vertex_id>(labels.begin(), labels.end());
     };
   };
   return {

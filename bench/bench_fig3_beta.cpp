@@ -44,8 +44,9 @@ int main() {
         cc::cc_options opt;
         opt.variant = variant;
         opt.beta = beta;
-        const double t =
-            median_time([&] { (void)cc::connected_components(g, opt); });
+        // Options fix at engine construction; trials 2..k reuse its arenas.
+        cc::cc_engine engine(opt);
+        const double t = median_time([&] { (void)engine.run(g); });
         std::printf(" %8.4f", t);
       }
       std::printf("\n");

@@ -26,13 +26,13 @@ int main() {
   size_t m_first = 0;
   double t_last = 0;
   size_t m_last = 0;
+  cc::cc_options opt;
+  opt.variant = cc::decomp_variant::kArbHybrid;
+  cc::cc_engine engine(opt);  // one engine across sizes and trials
   for (size_t m : sizes) {
     const size_t n = std::max<size_t>(m / 5, 16);
     const graph::graph g = graph::random_graph(n, 5, 81 + m);
-    cc::cc_options opt;
-    opt.variant = cc::decomp_variant::kArbHybrid;
-    const double t =
-        median_time([&] { (void)cc::connected_components(g, opt); });
+    const double t = median_time([&] { (void)engine.run(g); });
     std::printf("%14zu %14zu %12.4f %16.2f\n", g.num_undirected_edges(), n, t,
                 1e9 * t / static_cast<double>(g.num_undirected_edges()));
     if (m_first == 0) {

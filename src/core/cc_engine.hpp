@@ -1,0 +1,65 @@
+// Reusable executor for the paper's Algorithm 1.
+//
+// connected_components() answers one query and returns; every level of its
+// decompose-contract-recurse pipeline used to allocate (and fault in) fresh
+// vectors. The engine replaces the recursion with an iterative level loop
+// whose state lives in three workspace arenas (parallel/arena.hpp):
+//
+//   persist_   — the final labels plus, per level, the cluster / new_id /
+//                rep arrays the lift pass reads back down the level stack.
+//   scratch_   — per-level transients (shift schedule, frontiers, flag
+//                arrays, packed pairs, hash table); rewound after each use.
+//   graph_[2]  — the level graphs' CSR storage, ping-ponged: contraction at
+//                level L writes G_{L+1} into the arena not holding G_L.
+//
+// The arenas warm up over the first run (and consolidate to their
+// high-water mark); after that, run() performs no heap allocation — the
+// property the repeated-query benchmarks and tools/pcc_components --repeat
+// rely on, and which tests/core/test_cc_engine.cpp verifies with an
+// operator-new counting hook.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/connectivity.hpp"
+#include "graph/graph.hpp"
+#include "parallel/arena.hpp"
+
+namespace pcc::cc {
+
+class cc_engine {
+ public:
+  explicit cc_engine(const cc_options& opt = {}) : opt_(opt) {}
+
+  // Pre-size the arenas for a graph with n vertices and m directed edges so
+  // the first run() mostly avoids mid-flight chunk chaining. Optional: the
+  // arenas self-size from the first run's high-water mark regardless.
+  void reserve(size_t n, size_t m);
+
+  // Compute connected components of g. The returned span (size
+  // g.num_vertices()) points into the engine's persistent arena and stays
+  // valid until the next run()/reserve() call or the engine's destruction.
+  // Results are identical to connected_components(g, options()).
+  std::span<const vertex_id> run(const graph::graph& g,
+                                 cc_stats* stats = nullptr);
+
+  const cc_options& options() const { return opt_; }
+
+ private:
+  // Lift state recorded per level, read back bottom-up by the lift pass.
+  struct level_frame {
+    std::span<const vertex_id> cluster;  // size n (this level's graph)
+    std::span<const vertex_id> new_id;   // size n
+    std::span<const vertex_id> rep;      // size k (next level's graph)
+    size_t n = 0;
+  };
+
+  cc_options opt_;
+  parallel::workspace persist_;
+  parallel::workspace scratch_;
+  parallel::workspace graph_[2];
+  std::vector<level_frame> frames_;
+};
+
+}  // namespace pcc::cc

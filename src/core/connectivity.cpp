@@ -1,129 +1,21 @@
 // Algorithm 1 of the paper: CC(G) = relabel-up(DECOMP + CONTRACT + recurse).
+// The level loop itself lives in core/cc_engine.cpp; this translation unit
+// keeps the one-shot convenience API and the labeling helpers.
 
 #include "core/connectivity.hpp"
 
 #include <unordered_set>
 
-#include "core/contract.hpp"
-#include "parallel/random.hpp"
+#include "core/cc_engine.hpp"
+#include "parallel/arena.hpp"
+#include "parallel/atomics.hpp"
 #include "parallel/scheduler.hpp"
 #include "parallel/sequence.hpp"
-#include "parallel/timer.hpp"
 
 namespace pcc::cc {
 
 namespace {
-
 using parallel::parallel_for;
-
-// Sequential union-find fallback for the (never-observed) case that the
-// recursion fails to make progress within opt.max_levels.
-std::vector<vertex_id> sequential_components(const graph::graph& g) {
-  const size_t n = g.num_vertices();
-  std::vector<vertex_id> parent(n);
-  for (size_t v = 0; v < n; ++v) parent[v] = static_cast<vertex_id>(v);
-  const auto find = [&](vertex_id x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  for (size_t u = 0; u < n; ++u) {
-    for (vertex_id w : g.neighbors(static_cast<vertex_id>(u))) {
-      const vertex_id ru = find(static_cast<vertex_id>(u));
-      const vertex_id rw = find(w);
-      if (ru != rw) parent[ru < rw ? rw : ru] = ru < rw ? ru : rw;
-    }
-  }
-  std::vector<vertex_id> labels(n);
-  for (size_t v = 0; v < n; ++v) labels[v] = find(static_cast<vertex_id>(v));
-  return labels;
-}
-
-ldd::result run_decomposition(ldd::work_graph& wg, const cc_options& opt,
-                              uint64_t level, cc_stats* stats) {
-  ldd::options dopt;
-  dopt.beta = opt.beta;
-  dopt.shifts = opt.shifts;
-  // Fresh randomness per level: otherwise an unlucky schedule could repeat.
-  dopt.seed = parallel::hash64(opt.seed + 0x9e37 * (level + 1));
-  dopt.dense_threshold = opt.dense_threshold;
-  dopt.parallel_edge_threshold = opt.parallel_edge_threshold;
-  parallel::phase_timer* pt = stats != nullptr ? &stats->phases : nullptr;
-  switch (opt.variant) {
-    case decomp_variant::kMin:
-      return ldd::decomp_min(wg, dopt, pt);
-    case decomp_variant::kArb:
-      return ldd::decomp_arb(wg, dopt, pt);
-    case decomp_variant::kArbHybrid:
-      return ldd::decomp_arb_hybrid(wg, dopt, pt);
-  }
-  return {};  // unreachable
-}
-
-// The recursive CC of Algorithm 1. Returns labels over g's vertices, each
-// label being the id of a representative vertex of the component.
-std::vector<vertex_id> cc_recurse(const graph::graph& g, const cc_options& opt,
-                                  size_t level, cc_stats* stats) {
-  const size_t n = g.num_vertices();
-  if (n == 0) return {};
-  if (g.num_edges() == 0) {
-    // Every vertex is its own component.
-    return parallel::tabulate<vertex_id>(
-        n, [](size_t v) { return static_cast<vertex_id>(v); });
-  }
-  if (level >= opt.max_levels) {
-    if (stats != nullptr) stats->used_fallback = true;
-    return sequential_components(g);
-  }
-
-  // L = DECOMP(G, beta)
-  ldd::work_graph wg = ldd::work_graph::from(g);
-  const ldd::result dec = run_decomposition(wg, opt, level, stats);
-
-  // G' = CONTRACT(G, L)
-  parallel::timer contract_timer;
-  const contraction con = contract(wg, dec, opt.dedup);
-  if (stats != nullptr) {
-    stats->phases.add("contractGraph", contract_timer.elapsed());
-    level_stats ls;
-    ls.n = n;
-    ls.m = g.num_edges();
-    ls.edges_kept = dec.edges_kept;
-    ls.edges_after_dedup = con.contracted.num_edges();
-    ls.num_clusters = dec.num_clusters;
-    ls.num_singletons = con.num_singleton_clusters;
-    ls.bfs_rounds = dec.num_rounds;
-    ls.dense_rounds = dec.num_dense_rounds;
-    stats->levels.push_back(ls);
-  }
-
-  // if |E'| = 0 return L
-  if (con.contracted.num_edges() == 0) return dec.cluster;
-
-  // L' = CC(G'); L'' = RELABELUP(L, L').
-  const std::vector<vertex_id> sub_labels =
-      cc_recurse(con.contracted, opt, level + 1, stats);
-
-  // Lift: a cluster that survived into G' takes the representative of its
-  // contracted component, mapped back through rep[]; a singleton cluster
-  // keeps its center as the label. Representatives of distinct components
-  // stay distinct (rep is injective and centers of singleton clusters are
-  // never reps of non-singleton ones).
-  parallel::timer relabel_timer;
-  std::vector<vertex_id> lifted(n);
-  parallel_for(0, n, [&](size_t v) {
-    const vertex_id c = dec.cluster[v];
-    const vertex_id x = con.new_id[c];
-    lifted[v] = (x == kNoVertex) ? c : con.rep[sub_labels[x]];
-  });
-  if (stats != nullptr) {
-    stats->phases.add("contractGraph", relabel_timer.elapsed());
-  }
-  return lifted;
-}
-
 }  // namespace
 
 const char* variant_name(decomp_variant v) {
@@ -141,12 +33,32 @@ const char* variant_name(decomp_variant v) {
 std::vector<vertex_id> connected_components(const graph::graph& g,
                                             const cc_options& opt,
                                             cc_stats* stats) {
-  return cc_recurse(g, opt, 0, stats);
+  cc_engine engine(opt);
+  const std::span<const vertex_id> labels = engine.run(g, stats);
+  return std::vector<vertex_id>(labels.begin(), labels.end());
 }
 
 size_t num_components(const std::vector<vertex_id>& labels) {
-  std::unordered_set<vertex_id> distinct(labels.begin(), labels.end());
-  return distinct.size();
+  const size_t n = labels.size();
+  if (n == 0) return 0;
+  // The library's labelings use representative vertex ids, so every label
+  // is < n: count distinct labels with a parallel flag array + reduce.
+  const bool in_range = parallel::reduce(
+      n, [&](size_t i) { return labels[i] < n; }, true,
+      [](bool a, bool b) { return a && b; });
+  if (!in_range) {
+    // Arbitrary labelings (not produced by this library): hash them.
+    std::unordered_set<vertex_id> distinct(labels.begin(), labels.end());
+    return distinct.size();
+  }
+  parallel::workspace ws;
+  std::span<uint8_t> seen = ws.take_zeroed<uint8_t>(n);
+  parallel_for(0, n, [&](size_t i) {
+    // Concurrent same-value stores; write_once declares the race.
+    parallel::write_once(&seen[labels[i]], uint8_t{1});
+  });
+  return parallel::reduce_sum<size_t>(
+      n, [&](size_t i) { return static_cast<size_t>(seen[i]); });
 }
 
 }  // namespace pcc::cc

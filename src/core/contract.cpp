@@ -12,6 +12,7 @@
 #include <cassert>
 
 #include "graph/builder.hpp"
+#include "parallel/atomics.hpp"
 #include "parallel/hash_table.hpp"
 #include "parallel/integer_sort.hpp"
 #include "parallel/scheduler.hpp"
@@ -22,12 +23,25 @@ namespace pcc::ldd {
 work_graph work_graph::from(const graph::graph& g) {
   work_graph wg;
   wg.n = g.num_vertices();
-  wg.offsets = &g.offsets();
-  wg.edges = g.edges();  // mutable copy
-  wg.degrees.resize(wg.n);
+  wg.offsets = std::span<const edge_id>(g.offsets());
+  wg.edge_store_ = g.edges();  // mutable copy
+  wg.edges = std::span<vertex_id>(wg.edge_store_);
+  wg.degree_store_.resize(wg.n);
+  wg.degrees = std::span<vertex_id>(wg.degree_store_);
   parallel::parallel_for(0, wg.n, [&](size_t v) {
     wg.degrees[v] = g.degree(static_cast<vertex_id>(v));
   });
+  return wg;
+}
+
+work_graph work_graph::over(size_t n, std::span<const edge_id> offsets,
+                            std::span<vertex_id> edges,
+                            std::span<vertex_id> degrees) {
+  work_graph wg;
+  wg.n = n;
+  wg.offsets = offsets;
+  wg.edges = edges;
+  wg.degrees = degrees;
   return wg;
 }
 
@@ -39,58 +53,67 @@ namespace {
 using parallel::parallel_for;
 }  // namespace
 
-contraction contract(const ldd::work_graph& wg, const ldd::result& dec,
-                     bool dedup) {
+contraction_view contract_into(const ldd::work_graph& wg,
+                               std::span<const vertex_id> cluster, bool dedup,
+                               parallel::workspace& persist_ws,
+                               parallel::workspace& graph_ws,
+                               parallel::workspace& scratch_ws) {
   const size_t n = wg.n;
-  const std::vector<edge_id>& V = *wg.offsets;
-  const std::vector<vertex_id>& E = wg.edges;
-  const std::vector<vertex_id>& D = wg.degrees;
-  const std::vector<vertex_id>& cluster = dec.cluster;
+  std::span<const edge_id> V = wg.offsets;
+  std::span<const vertex_id> E = wg.edges;
+  std::span<const vertex_id> D = wg.degrees;
 
-  contraction out;
-  out.num_clusters = dec.num_clusters;
+  contraction_view out;
+  out.new_id = persist_ws.take<vertex_id>(n);
+
+  parallel::workspace::scope s(scratch_ws);
 
   // Offsets of each vertex's kept edges in the gathered edge array.
-  std::vector<edge_id> gather_off;
-  const edge_id total_kept = parallel::scan_exclusive_into(
-      n, [&](size_t v) { return static_cast<edge_id>(D[v]); }, gather_off);
+  std::span<edge_id> gather_off = scratch_ws.take<edge_id>(n);
+  const edge_id total_kept = parallel::scan_exclusive_span<edge_id>(
+      n, [&](size_t v) { return static_cast<edge_id>(D[v]); }, gather_off,
+      scratch_ws);
   out.edges_before_dedup = total_kept;
 
   // A cluster is non-singleton iff an inter-cluster edge touches it. Kept
   // edges appear from both endpoints' sides, so flagging by source suffices;
-  // we flag the (already relabeled) target too for robustness.
-  std::vector<uint8_t> has_edge(n, 0);
+  // we flag the (already relabeled) target too for robustness. Concurrent
+  // same-value stores go through write_once (relaxed atomics) so the race
+  // is declared to the memory model.
+  std::span<uint8_t> has_edge = scratch_ws.take_zeroed<uint8_t>(n);
   parallel_for(0, n, [&](size_t v) {
-    if (D[v] > 0) has_edge[cluster[v]] = 1;  // benign write race: same value
+    if (D[v] > 0) parallel::write_once(&has_edge[cluster[v]], uint8_t{1});
     const edge_id start = V[v];
-    for (vertex_id i = 0; i < D[v]; ++i) has_edge[E[start + i]] = 1;
+    for (vertex_id i = 0; i < D[v]; ++i) {
+      parallel::write_once(&has_edge[E[start + i]], uint8_t{1});
+    }
   });
 
   // Assign contracted ids [0, k') to non-singleton clusters by prefix sum
   // over their centers, and record the inverse map `rep`.
-  std::vector<size_t> center_rank;
-  const size_t k = parallel::scan_exclusive_into(
+  std::span<size_t> center_rank = scratch_ws.take<size_t>(n);
+  const size_t k = parallel::scan_exclusive_span<size_t>(
       n,
       [&](size_t c) {
         return (cluster[c] == c && has_edge[c]) ? size_t{1} : size_t{0};
       },
-      center_rank);
-  out.new_id.assign(n, kNoVertex);
-  out.rep.resize(k);
+      center_rank, scratch_ws);
+  out.rep = persist_ws.take<vertex_id>(k);
+  out.num_vertices = k;
   parallel_for(0, n, [&](size_t c) {
     if (cluster[c] == c && has_edge[c]) {
       const vertex_id x = static_cast<vertex_id>(center_rank[c]);
       out.new_id[c] = x;
       out.rep[x] = static_cast<vertex_id>(c);
+    } else {
+      out.new_id[c] = kNoVertex;
     }
   });
-  out.num_singleton_clusters =
-      dec.num_clusters >= k ? dec.num_clusters - k : 0;
 
   // Gather the kept edges as packed (new source id, new target id) pairs.
   // Targets were relabeled to cluster ids during the decomposition; sources
   // are relabeled here via the vertex's own cluster.
-  std::vector<uint64_t> pairs(total_kept);
+  std::span<uint64_t> pairs = scratch_ws.take<uint64_t>(total_kept);
   parallel_for(0, n, [&](size_t v) {
     const vertex_id src = out.new_id[cluster[v]];
     const edge_id start = V[v];
@@ -103,9 +126,21 @@ contraction contract(const ldd::work_graph& wg, const ldd::result& dec,
   });
 
   if (dedup && !pairs.empty()) {
-    parallel::hash_set64 set(pairs.size());
-    parallel_for(0, pairs.size(), [&](size_t i) { set.insert(pairs[i]); });
-    pairs = set.elements();
+    // Phase-concurrent insert; the winner of each key compacts it into the
+    // deduped array. The compaction order is scheduling-dependent, but the
+    // sort below is total on the (distinct) keys, so the final CSR is
+    // deterministic either way.
+    std::span<uint64_t> slots = scratch_ws.take<uint64_t>(
+        parallel::hash_set64_view::slots_needed(pairs.size()));
+    parallel::hash_set64_view set(slots);
+    std::span<uint64_t> deduped = scratch_ws.take<uint64_t>(pairs.size());
+    size_t num_deduped = 0;
+    parallel_for(0, pairs.size(), [&](size_t i) {
+      if (set.insert(pairs[i])) {
+        deduped[parallel::fetch_add<size_t>(&num_deduped, 1)] = pairs[i];
+      }
+    });
+    pairs = deduped.first(num_deduped);
   }
 
   // Semisort: one radix sort by the packed (src, tgt) key clusters each
@@ -114,10 +149,37 @@ contraction contract(const ldd::work_graph& wg, const ldd::result& dec,
   // compacts the two id fields so the radix passes cover both.
   const int b = parallel::bits_needed(k == 0 ? 1 : k);
   const uint64_t tmask = b >= 32 ? ~uint32_t{0} : (uint64_t{1} << b) - 1;
-  parallel::integer_sort(pairs, 2 * b, [b, tmask](uint64_t p) {
-    return ((p >> 32) << b) | (p & tmask);
-  });
-  out.contracted = graph::from_sorted_pairs(k, pairs);
+  parallel::integer_sort_span(
+      pairs, 2 * b,
+      [b, tmask](uint64_t p) { return ((p >> 32) << b) | (p & tmask); },
+      scratch_ws);
+
+  const graph::csr_spans csr =
+      graph::from_sorted_pairs_into(k, pairs, graph_ws, scratch_ws);
+  out.offsets = csr.offsets;
+  out.edges = csr.edges;
+  return out;
+}
+
+contraction contract(const ldd::work_graph& wg, const ldd::result& dec,
+                     bool dedup) {
+  parallel::workspace persist_ws;
+  parallel::workspace graph_ws;
+  parallel::workspace scratch_ws;
+  const contraction_view cv = contract_into(
+      wg, dec.cluster, dedup, persist_ws, graph_ws, scratch_ws);
+
+  contraction out;
+  out.num_clusters = dec.num_clusters;
+  out.num_singleton_clusters = dec.num_clusters >= cv.num_vertices
+                                   ? dec.num_clusters - cv.num_vertices
+                                   : 0;
+  out.edges_before_dedup = cv.edges_before_dedup;
+  out.new_id.assign(cv.new_id.begin(), cv.new_id.end());
+  out.rep.assign(cv.rep.begin(), cv.rep.end());
+  out.contracted = graph::graph(
+      std::vector<edge_id>(cv.offsets.begin(), cv.offsets.end()),
+      std::vector<vertex_id>(cv.edges.begin(), cv.edges.end()));
   return out;
 }
 

@@ -1,10 +1,12 @@
 // Graph contraction: collapse each decomposition cluster into one vertex.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/ldd.hpp"
 #include "graph/graph.hpp"
+#include "parallel/arena.hpp"
 
 namespace pcc::cc {
 
@@ -24,11 +26,34 @@ struct contraction {
   size_t edges_before_dedup = 0;      // directed inter-cluster edges kept
 };
 
-// Contract `wg` according to the decomposition `dec`. Requires the
-// post-decomposition invariant: for each v, the first wg.degrees[v] entries
-// of its adjacency are its inter-cluster edges with targets relabeled to
-// cluster ids. When `dedup` is set, duplicate edges between cluster pairs
-// are removed with a phase-concurrent hash table (the paper notes the
+// Span-based contraction output; all spans live in the workspaces passed to
+// contract_into and stay valid until those are reset/rewound.
+struct contraction_view {
+  std::span<edge_id> offsets;   // contracted CSR offsets, size k+1
+  std::span<vertex_id> edges;   // contracted CSR targets
+  std::span<vertex_id> new_id;  // size n (input graph)
+  std::span<vertex_id> rep;     // size k
+  size_t num_vertices = 0;      // k = non-singleton clusters
+  size_t edges_before_dedup = 0;
+};
+
+// Workspace-backed core: contract `wg` according to `cluster` (the
+// decomposition labeling). The lift state (new_id, rep) goes into
+// `persist_ws`, the contracted CSR into `graph_ws` (the engine ping-pongs
+// two of these across levels), and every temporary — gather offsets, flag
+// arrays, the packed pair array, the dedup hash table — into `scratch_ws`,
+// rewound before returning. Requires the post-decomposition invariant: for
+// each v, the first wg.degrees[v] adjacency entries are its inter-cluster
+// edges with targets relabeled to cluster ids.
+contraction_view contract_into(const ldd::work_graph& wg,
+                               std::span<const vertex_id> cluster, bool dedup,
+                               parallel::workspace& persist_ws,
+                               parallel::workspace& graph_ws,
+                               parallel::workspace& scratch_ws);
+
+// Vector-returning convenience wrapper over contract_into (tests, examples,
+// one-shot callers). When `dedup` is set, duplicate edges between cluster
+// pairs are removed with a phase-concurrent hash table (the paper notes the
 // algorithm stays correct without it; it is an ablation knob here).
 contraction contract(const ldd::work_graph& wg, const ldd::result& dec,
                      bool dedup = true);

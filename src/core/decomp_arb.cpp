@@ -22,22 +22,25 @@ using parallel::parallel_for;
 using parallel::timer;
 }  // namespace
 
-result decomp_arb(work_graph& wg, const options& opt,
-                  parallel::phase_timer* pt) {
+decomp_info decomp_arb_into(work_graph& wg, const options& opt,
+                            std::span<vertex_id> cluster,
+                            parallel::workspace& ws,
+                            parallel::phase_timer* pt) {
   const size_t n = wg.n;
-  const std::vector<edge_id>& V = *wg.offsets;
-  std::vector<vertex_id>& E = wg.edges;
-  std::vector<vertex_id>& D = wg.degrees;
-
-  result res;
-  res.cluster.assign(n, kNoVertex);  // kNoVertex plays the paper's infinity
+  decomp_info res;
   if (n == 0) return res;
-  std::vector<vertex_id>& C = res.cluster;
+  std::span<const edge_id> V = wg.offsets;
+  std::span<vertex_id> E = wg.edges;
+  std::span<vertex_id> D = wg.degrees;
+  std::span<vertex_id> C = cluster;
+  parallel_for(0, n, [&](size_t v) { C[v] = kNoVertex; });  // the paper's inf
 
   timer t;
-  internal::shift_schedule schedule(n, opt);
-  std::vector<vertex_id> frontier;
-  std::vector<vertex_id> next(n);
+  parallel::workspace::scope outer(ws);
+  internal::shift_schedule schedule(n, opt, ws);
+  std::span<vertex_id> frontier = ws.take<vertex_id>(n);
+  std::span<vertex_id> next = ws.take<vertex_id>(n);
+  size_t frontier_size = 0;
   if (pt != nullptr) pt->add("init", t.lap());
 
   size_t num_visited = 0;
@@ -46,18 +49,20 @@ result decomp_arb(work_graph& wg, const options& opt,
     // bfsPre: start BFS's at the unvisited vertices whose shift value fell
     // into this round, appending them to the shared frontier array.
     t.start();
-    res.num_clusters += internal::add_new_centers(
-        schedule, round, frontier,
+    const size_t added = internal::add_new_centers(
+        schedule, round, frontier, frontier_size, ws,
         [&](vertex_id v) { return C[v] == kNoVertex; },
         [&](vertex_id v) { C[v] = v; });
+    res.num_clusters += added;
+    frontier_size += added;
     // Every frontier member was first visited this round (carried-over
     // vertices were claimed during the previous round's edge phase).
-    num_visited += frontier.size();
+    num_visited += frontier_size;
     if (pt != nullptr) pt->add("bfsPre", t.lap());
 
     // bfsMain: single pass over the frontier's edges (Lines 9-20).
     size_t next_size = 0;
-    parallel_for(0, frontier.size(), [&](size_t fi) {
+    parallel_for(0, frontier_size, [&](size_t fi) {
       const vertex_id v = frontier[fi];
       const vertex_id my_label = C[v];
       const edge_id start = V[v];
@@ -66,7 +71,9 @@ result decomp_arb(work_graph& wg, const options& opt,
         // High-degree path (Section 4): parallel loop over the edges,
         // deleted edges marked with a sentinel, then packed with a prefix
         // sum. kNoVertex never appears as a kept label, so it serves as
-        // the deletion mark.
+        // the deletion mark. Runs inside the frontier loop, so its
+        // temporaries are plain vectors (a workspace is single-producer);
+        // this is an ablation path, off by default.
         parallel_for(0, deg, [&](size_t i) {
           const vertex_id w = E[start + i];
           if (atomic_load(&C[w]) == kNoVertex &&
@@ -110,14 +117,23 @@ result decomp_arb(work_graph& wg, const options& opt,
       }
       D[v] = k;
     });
-    frontier.assign(next.begin(), next.begin() + next_size);
+    std::swap(frontier, next);
+    frontier_size = next_size;
     if (pt != nullptr) pt->add("bfsMain", t.lap());
     ++round;
   }
   res.num_rounds = round;
-  res.edges_kept =
-      parallel::reduce_sum<size_t>(n, [&](size_t v) { return D[v]; });
+  res.edges_kept = parallel::reduce_sum_ws<size_t>(
+      n, [&](size_t v) { return D[v]; }, ws);
   return res;
+}
+
+result decomp_arb(work_graph& wg, const options& opt,
+                  parallel::phase_timer* pt) {
+  std::vector<vertex_id> cluster(wg.n);
+  parallel::workspace ws;
+  const decomp_info info = decomp_arb_into(wg, opt, cluster, ws, pt);
+  return internal::to_result(std::move(cluster), info);
 }
 
 result decompose_arb(const graph::graph& g, const options& opt) {

@@ -25,27 +25,30 @@ using parallel::parallel_for;
 using parallel::timer;
 }  // namespace
 
-result decomp_arb_hybrid(work_graph& wg, const options& opt,
-                         parallel::phase_timer* pt) {
+decomp_info decomp_arb_hybrid_into(work_graph& wg, const options& opt,
+                                   std::span<vertex_id> cluster,
+                                   parallel::workspace& ws,
+                                   parallel::phase_timer* pt) {
   const size_t n = wg.n;
-  const std::vector<edge_id>& V = *wg.offsets;
-  std::vector<vertex_id>& E = wg.edges;
-  std::vector<vertex_id>& D = wg.degrees;
-
-  result res;
-  res.cluster.assign(n, kNoVertex);
+  decomp_info res;
   if (n == 0) return res;
-  std::vector<vertex_id>& C = res.cluster;
+  std::span<const edge_id> V = wg.offsets;
+  std::span<vertex_id> E = wg.edges;
+  std::span<vertex_id> D = wg.degrees;
+  std::span<vertex_id> C = cluster;
+  parallel_for(0, n, [&](size_t v) { C[v] = kNoVertex; });
 
   timer t;
-  internal::shift_schedule schedule(n, opt);
-  std::vector<vertex_id> frontier;
-  std::vector<vertex_id> next(n);
+  parallel::workspace::scope outer(ws);
+  internal::shift_schedule schedule(n, opt, ws);
+  std::span<vertex_id> frontier = ws.take<vertex_id>(n);
+  std::span<vertex_id> next = ws.take<vertex_id>(n);
+  size_t frontier_size = 0;
   // resolved[v]: v's adjacency prefix was compacted/relabeled by a
   // write-based round; unresolved vertices go through filterEdges.
-  std::vector<uint8_t> resolved(n, 0);
-  std::vector<uint8_t> on_frontier(n, 0);
-  std::vector<uint8_t> next_flags(n, 0);
+  std::span<uint8_t> resolved = ws.take_zeroed<uint8_t>(n);
+  std::span<uint8_t> on_frontier = ws.take_zeroed<uint8_t>(n);
+  std::span<uint8_t> next_flags = ws.take_zeroed<uint8_t>(n);
   const size_t dense_cutoff = static_cast<size_t>(
       opt.dense_threshold * static_cast<double>(n));
   if (pt != nullptr) pt->add("init", t.lap());
@@ -54,17 +57,19 @@ result decomp_arb_hybrid(work_graph& wg, const options& opt,
   size_t round = 0;
   while (num_visited < n) {
     t.start();
-    res.num_clusters += internal::add_new_centers(
-        schedule, round, frontier,
+    const size_t added = internal::add_new_centers(
+        schedule, round, frontier, frontier_size, ws,
         [&](vertex_id v) { return C[v] == kNoVertex; },
         [&](vertex_id v) { C[v] = v; });
-    num_visited += frontier.size();
+    res.num_clusters += added;
+    frontier_size += added;
+    num_visited += frontier_size;
     if (pt != nullptr) pt->add("bfsPre", t.lap());
 
-    if (frontier.size() > dense_cutoff) {
+    if (frontier_size > dense_cutoff) {
       // Read-based (dense) round.
       ++res.num_dense_rounds;
-      parallel_for(0, frontier.size(),
+      parallel_for(0, frontier_size,
                    [&](size_t i) { on_frontier[frontier[i]] = 1; });
       parallel_for(0, n, [&](size_t vi) {
         const vertex_id v = static_cast<vertex_id>(vi);
@@ -82,21 +87,20 @@ result decomp_arb_hybrid(work_graph& wg, const options& opt,
       });
       // Gather the next frontier and reset the scratch flag arrays by
       // touching only the entries that were set.
-      parallel_for(0, frontier.size(),
+      parallel_for(0, frontier_size,
                    [&](size_t i) { on_frontier[frontier[i]] = 0; });
-      std::vector<vertex_id> gathered =
-          parallel::pack_index<vertex_id>(n, [&](size_t v) {
-            return next_flags[v] != 0;
-          });
-      parallel_for(0, gathered.size(),
-                   [&](size_t i) { next_flags[gathered[i]] = 0; });
-      frontier.swap(gathered);
+      const size_t gathered = parallel::pack_index_span<vertex_id>(
+          n, [&](size_t v) { return next_flags[v] != 0; }, next, ws);
+      parallel_for(0, gathered,
+                   [&](size_t i) { next_flags[next[i]] = 0; });
+      std::swap(frontier, next);
+      frontier_size = gathered;
       if (pt != nullptr) pt->add("bfsDense", t.lap());
     } else {
       // Write-based (sparse) round: identical to Decomp-Arb, except kept
       // edges carry the mark bit recording "already relabeled".
       size_t next_size = 0;
-      parallel_for(0, frontier.size(), [&](size_t fi) {
+      parallel_for(0, frontier_size, [&](size_t fi) {
         const vertex_id v = frontier[fi];
         const vertex_id my_label = C[v];
         const edge_id start = V[v];
@@ -118,7 +122,8 @@ result decomp_arb_hybrid(work_graph& wg, const options& opt,
         D[v] = k;
         resolved[v] = 1;
       });
-      frontier.assign(next.begin(), next.begin() + next_size);
+      std::swap(frontier, next);
+      frontier_size = next_size;
       if (pt != nullptr) pt->add("bfsSparse", t.lap());
     }
     ++round;
@@ -153,9 +158,17 @@ result decomp_arb_hybrid(work_graph& wg, const options& opt,
   if (pt != nullptr) pt->add("filterEdges", t.lap());
 
   res.num_rounds = round;
-  res.edges_kept =
-      parallel::reduce_sum<size_t>(n, [&](size_t v) { return D[v]; });
+  res.edges_kept = parallel::reduce_sum_ws<size_t>(
+      n, [&](size_t v) { return D[v]; }, ws);
   return res;
+}
+
+result decomp_arb_hybrid(work_graph& wg, const options& opt,
+                         parallel::phase_timer* pt) {
+  std::vector<vertex_id> cluster(wg.n);
+  parallel::workspace ws;
+  const decomp_info info = decomp_arb_hybrid_into(wg, opt, cluster, ws, pt);
+  return internal::to_result(std::move(cluster), info);
 }
 
 result decompose_arb_hybrid(const graph::graph& g, const options& opt) {

@@ -39,19 +39,20 @@ constexpr packed_pair kUnvisited = ~packed_pair{0};  // (inf, inf)
 
 }  // namespace
 
-result decomp_min(work_graph& wg, const options& opt,
-                  parallel::phase_timer* pt) {
+decomp_info decomp_min_into(work_graph& wg, const options& opt,
+                            std::span<vertex_id> cluster,
+                            parallel::workspace& ws,
+                            parallel::phase_timer* pt) {
   const size_t n = wg.n;
-  const std::vector<edge_id>& V = *wg.offsets;
-  std::vector<vertex_id>& E = wg.edges;
-  std::vector<vertex_id>& D = wg.degrees;
-
-  result res;
-  res.cluster.assign(n, kNoVertex);
+  decomp_info res;
   if (n == 0) return res;
+  std::span<const edge_id> V = wg.offsets;
+  std::span<vertex_id> E = wg.edges;
+  std::span<vertex_id> D = wg.degrees;
 
   timer t;
-  internal::shift_schedule schedule(n, opt);
+  parallel::workspace::scope outer(ws);
+  internal::shift_schedule schedule(n, opt, ws);
   // delta'_v: the simulated fractional part of v's shift, used only when v
   // becomes a BFS center. Drawn from [1, 2^31) — 0 is the visited mark.
   const parallel::rng frac_gen = parallel::rng(opt.seed).split(11);
@@ -59,26 +60,29 @@ result decomp_min(work_graph& wg, const options& opt,
     return 1u + static_cast<uint32_t>(frac_gen.bounded(v, (1u << 31) - 2u));
   };
 
-  std::vector<packed_pair> C(n, kUnvisited);
-  std::vector<vertex_id> frontier;
-  std::vector<vertex_id> next(n);
+  std::span<packed_pair> C = ws.take_filled<packed_pair>(n, kUnvisited);
+  std::span<vertex_id> frontier = ws.take<vertex_id>(n);
+  std::span<vertex_id> next = ws.take<vertex_id>(n);
+  size_t frontier_size = 0;
   if (pt != nullptr) pt->add("init", t.lap());
 
   size_t num_visited = 0;
   size_t round = 0;
   while (num_visited < n) {
     t.start();
-    res.num_clusters += internal::add_new_centers(
-        schedule, round, frontier,
+    const size_t added = internal::add_new_centers(
+        schedule, round, frontier, frontier_size, ws,
         [&](vertex_id v) { return C[v] == kUnvisited; },
         [&](vertex_id v) { C[v] = pack_pair(kVisitedFrac, v); });
-    num_visited += frontier.size();
+    res.num_clusters += added;
+    frontier_size += added;
+    num_visited += frontier_size;
     if (pt != nullptr) pt->add("bfsPre", t.lap());
 
     // Phase 1 (Lines 9-23): writeMin marking of unvisited neighbours; edges
     // to previously visited vertices are resolved immediately, edges to
     // still-contended vertices are kept raw for phase 2.
-    parallel_for(0, frontier.size(), [&](size_t fi) {
+    parallel_for(0, frontier_size, [&](size_t fi) {
       const vertex_id v = frontier[fi];
       const vertex_id my_label = pair_second(C[v]);
       const uint32_t my_frac = frac_of(my_label);
@@ -108,7 +112,7 @@ result decomp_min(work_graph& wg, const options& opt,
     // Phase 2 (Lines 24-39): winners confirm their visits with a CAS; all
     // remaining raw edges are resolved.
     size_t next_size = 0;
-    parallel_for(0, frontier.size(), [&](size_t fi) {
+    parallel_for(0, frontier_size, [&](size_t fi) {
       const vertex_id v = frontier[fi];
       const vertex_id my_label = pair_second(C[v]);
       const uint32_t my_frac = frac_of(my_label);
@@ -140,7 +144,8 @@ result decomp_min(work_graph& wg, const options& opt,
       }
       D[v] = k;
     });
-    frontier.assign(next.begin(), next.begin() + next_size);
+    std::swap(frontier, next);
+    frontier_size = next_size;
     if (pt != nullptr) pt->add("bfsPhase2", t.lap());
     ++round;
   }
@@ -153,14 +158,22 @@ result decomp_min(work_graph& wg, const options& opt,
     for (vertex_id i = 0; i < D[v]; ++i) {
       E[start + i] = internal::unmark_edge(E[start + i]);
     }
-    res.cluster[v] = pair_second(C[v]);
+    cluster[v] = pair_second(C[v]);
   });
   if (pt != nullptr) pt->add("bfsPost", t.lap());
 
   res.num_rounds = round;
-  res.edges_kept =
-      parallel::reduce_sum<size_t>(n, [&](size_t v) { return D[v]; });
+  res.edges_kept = parallel::reduce_sum_ws<size_t>(
+      n, [&](size_t v) { return D[v]; }, ws);
   return res;
+}
+
+result decomp_min(work_graph& wg, const options& opt,
+                  parallel::phase_timer* pt) {
+  std::vector<vertex_id> cluster(wg.n);
+  parallel::workspace ws;
+  const decomp_info info = decomp_min_into(wg, opt, cluster, ws, pt);
+  return internal::to_result(std::move(cluster), info);
 }
 
 result decompose_min(const graph::graph& g, const options& opt) {

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/timer.hpp"
 
 namespace pcc::ldd {
@@ -68,14 +70,44 @@ struct result {
   size_t edges_kept = 0;
 };
 
-// Mutable view of a graph consumed by a decomposition.
+// Mutable view of a graph consumed by a decomposition. The spans either
+// borrow caller-managed storage (workspace arenas — see `over`) or point
+// into the private owning vectors filled by `from`. Move-only: copying
+// would leave the spans of the copy aliasing the original's storage.
 struct work_graph {
   size_t n = 0;
-  const std::vector<edge_id>* offsets = nullptr;  // borrowed, size n+1
-  std::vector<vertex_id> edges;                   // mutable copy
-  std::vector<vertex_id> degrees;                 // mutable, size n
+  std::span<const edge_id> offsets;  // size n+1
+  std::span<vertex_id> edges;        // mutable; live prefixes compacted
+  std::span<vertex_id> degrees;      // mutable, size n
 
+  work_graph() = default;
+  work_graph(work_graph&&) = default;
+  work_graph& operator=(work_graph&&) = default;
+  work_graph(const work_graph&) = delete;
+  work_graph& operator=(const work_graph&) = delete;
+
+  // Owning factory: copies g's edge array and computes degrees into
+  // internal storage; `offsets` borrows g's offset array.
   static work_graph from(const graph::graph& g);
+
+  // Non-owning view over caller-managed storage (the engine's arenas).
+  static work_graph over(size_t n, std::span<const edge_id> offsets,
+                         std::span<vertex_id> edges,
+                         std::span<vertex_id> degrees);
+
+ private:
+  std::vector<vertex_id> edge_store_;
+  std::vector<vertex_id> degree_store_;
+};
+
+// Scalar outputs of a decomposition — everything in `result` except the
+// cluster array, which the span-based `_into` variants write into caller
+// storage instead of allocating.
+struct decomp_info {
+  size_t num_clusters = 0;
+  size_t num_rounds = 0;
+  size_t num_dense_rounds = 0;
+  size_t edges_kept = 0;
 };
 
 // The three decomposition variants. `pt` (optional) accumulates per-phase
@@ -88,6 +120,23 @@ result decomp_arb(work_graph& wg, const options& opt,
                   parallel::phase_timer* pt = nullptr);
 result decomp_arb_hybrid(work_graph& wg, const options& opt,
                          parallel::phase_timer* pt = nullptr);
+
+// Workspace-backed cores of the three variants: `cluster` (size wg.n) is
+// caller storage for the labeling and every transient — shift schedule,
+// frontiers, flag arrays — is carved from `ws` and rewound before
+// returning. The vector-returning functions above are thin wrappers.
+decomp_info decomp_min_into(work_graph& wg, const options& opt,
+                            std::span<vertex_id> cluster,
+                            parallel::workspace& ws,
+                            parallel::phase_timer* pt = nullptr);
+decomp_info decomp_arb_into(work_graph& wg, const options& opt,
+                            std::span<vertex_id> cluster,
+                            parallel::workspace& ws,
+                            parallel::phase_timer* pt = nullptr);
+decomp_info decomp_arb_hybrid_into(work_graph& wg, const options& opt,
+                                   std::span<vertex_id> cluster,
+                                   parallel::workspace& ws,
+                                   parallel::phase_timer* pt = nullptr);
 
 // Non-destructive convenience wrappers: copy the graph's edges into a
 // work_graph, run the variant, and return only the clustering.

@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/ldd.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/integer_sort.hpp"
 #include "parallel/random.hpp"
 #include "parallel/scheduler.hpp"
@@ -35,9 +38,14 @@ inline constexpr bool is_marked(vertex_id e) { return (e & kEdgeMark) != 0; }
 // floor(delta_v) with one integer sort, and serves bucket t at round t.
 class shift_schedule {
  public:
-  shift_schedule(size_t n, const options& opt) : n_(n) {
+  // The order array (and, in permutation mode, the sort scratch) comes from
+  // `ws`; it must stay live for the schedule's lifetime, so the caller's
+  // rewind scope has to enclose the schedule.
+  shift_schedule(size_t n, const options& opt, parallel::workspace& ws)
+      : n_(n) {
+    order_ = ws.take<vertex_id>(n);
     if (opt.shifts == shift_mode::kPermutationChunks) {
-      order_ = parallel::random_permutation(n, opt.seed);
+      parallel::random_permutation_into(n, opt.seed, order_, ws);
       beta_ = opt.beta;
     } else {
       // Exact shifts: delta_v ~ Exp(beta); the BFS of v starts at time
@@ -63,7 +71,6 @@ class shift_schedule {
       parallel::integer_sort(
           keyed, parallel::bits_needed(static_cast<uint64_t>(max_floor) + 1),
           [](const auto& p) { return p.first; });
-      order_.resize(n);
       bucket_end_.assign(static_cast<size_t>(max_floor) + 2, 0);
       parallel::parallel_for(0, n, [&](size_t i) {
         order_[i] = keyed[i].second;
@@ -111,42 +118,58 @@ class shift_schedule {
 
   size_t n_;
   double beta_ = 0.0;
-  std::vector<vertex_id> order_;
+  std::span<vertex_id> order_;      // workspace-backed, size n
   std::vector<size_t> bucket_end_;  // non-empty iff exponential mode
 };
 
 // Append the unvisited members of this round's batch as new BFS centers:
-// sets visited-state via `make_center(v)` and pushes v onto `frontier`.
-// Candidates within one batch are distinct (they come from a permutation),
-// so no synchronization is needed against each other; the caller guarantees
-// phase separation from edge processing.
+// sets visited-state via `make_center(v)` and pushes v onto `frontier`
+// starting at index `frontier_size` (the caller advances its size by the
+// returned count — a vertex joins the frontier at most once over a whole
+// decomposition, so a capacity of n always suffices). Candidates within
+// one batch are distinct (they come from a permutation), so no
+// synchronization is needed against each other; the caller guarantees
+// phase separation from edge processing. Flag/scan scratch comes from `ws`
+// and is rewound before returning.
 template <typename IsUnvisited, typename MakeCenter>
 size_t add_new_centers(const shift_schedule& sched, size_t round,
-                       std::vector<vertex_id>& frontier,
-                       IsUnvisited&& is_unvisited, MakeCenter&& make_center) {
+                       std::span<vertex_id> frontier, size_t frontier_size,
+                       parallel::workspace& ws, IsUnvisited&& is_unvisited,
+                       MakeCenter&& make_center) {
   const auto [begin, end] = sched.batch(round);
   if (begin >= end) return 0;
-  const size_t base = frontier.size();
-  frontier.resize(base + (end - begin));
+  parallel::workspace::scope s(ws);
   // Two-pass pack keeps the frontier deterministic: flag, scan, scatter.
-  std::vector<uint8_t> flags(end - begin);
+  std::span<uint8_t> flags = ws.take<uint8_t>(end - begin);
+  std::span<size_t> pos = ws.take<size_t>(end - begin);
   parallel::parallel_for(begin, end, [&](size_t i) {
     const vertex_id v = sched.vertex_at(i);
     flags[i - begin] = is_unvisited(v) ? 1 : 0;
   });
-  std::vector<size_t> pos;
-  const size_t added = parallel::scan_exclusive_into(
+  const size_t added = parallel::scan_exclusive_span<size_t>(
       flags.size(), [&](size_t i) { return static_cast<size_t>(flags[i]); },
-      pos);
+      pos, ws);
   parallel::parallel_for(begin, end, [&](size_t i) {
     if (flags[i - begin]) {
       const vertex_id v = sched.vertex_at(i);
       make_center(v);
-      frontier[base + pos[i - begin]] = v;
+      frontier[frontier_size + pos[i - begin]] = v;
     }
   });
-  frontier.resize(base + added);
   return added;
+}
+
+// Assemble the vector-returning `result` the public wrappers expose from a
+// span-based core's outputs.
+inline result to_result(std::vector<vertex_id>&& cluster,
+                        const decomp_info& info) {
+  result res;
+  res.cluster = std::move(cluster);
+  res.num_clusters = info.num_clusters;
+  res.num_rounds = info.num_rounds;
+  res.num_dense_rounds = info.num_dense_rounds;
+  res.edges_kept = info.edges_kept;
+  return res;
 }
 
 }  // namespace pcc::ldd::internal

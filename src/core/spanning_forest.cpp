@@ -10,6 +10,7 @@
 #include "baselines/union_find.hpp"
 #include "core/ldd.hpp"
 #include "core/ldd_internal.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/hash_map.hpp"
 #include "parallel/integer_sort.hpp"
@@ -71,9 +72,11 @@ ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
   if (n == 0) return res;
   std::vector<vertex_id>& C = res.cluster;
 
-  ldd::internal::shift_schedule schedule(n, opt);
-  std::vector<vertex_id> frontier;
-  std::vector<vertex_id> next(n);
+  parallel::workspace ws;
+  ldd::internal::shift_schedule schedule(n, opt, ws);
+  std::span<vertex_id> frontier = ws.take<vertex_id>(n);
+  std::span<vertex_id> next = ws.take<vertex_id>(n);
+  size_t frontier_size = 0;
   // Claim-edge witnesses, collected race-free: at most n claims happen in
   // one decomposition (each vertex is claimed once).
   std::vector<uint64_t> claims(n);
@@ -82,14 +85,16 @@ ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
   size_t num_visited = 0;
   size_t round = 0;
   while (num_visited < n) {
-    res.num_clusters += ldd::internal::add_new_centers(
-        schedule, round, frontier,
+    const size_t added = ldd::internal::add_new_centers(
+        schedule, round, frontier, frontier_size, ws,
         [&](vertex_id v) { return C[v] == kNoVertex; },
         [&](vertex_id v) { C[v] = v; });
-    num_visited += frontier.size();
+    res.num_clusters += added;
+    frontier_size += added;
+    num_visited += frontier_size;
 
     size_t next_size = 0;
-    parallel_for(0, frontier.size(), [&](size_t fi) {
+    parallel_for(0, frontier_size, [&](size_t fi) {
       const vertex_id v = frontier[fi];
       const vertex_id my_label = C[v];
       const edge_id start = wg.offsets[v];
@@ -114,7 +119,8 @@ ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
       }
       wg.degrees[v] = k;
     });
-    frontier.assign(next.begin(), next.begin() + next_size);
+    std::swap(frontier, next);
+    frontier_size = next_size;
     ++round;
   }
   res.num_rounds = round;
@@ -155,12 +161,16 @@ std::vector<graph::edge> spanning_forest(const graph::graph& g,
 
     // Contract with witnesses: one surviving (src, tgt) cluster pair keeps
     // one witness (any edge realizing the pair is a valid forest edge).
+    // Concurrent same-value stores via write_once (relaxed atomics), so the
+    // benign race is declared to the memory model.
     std::vector<uint8_t> has_edge(wg.n, 0);
     parallel_for(0, wg.n, [&](size_t v) {
-      if (wg.degrees[v] > 0) has_edge[dec.cluster[v]] = 1;
+      if (wg.degrees[v] > 0) {
+        parallel::write_once(&has_edge[dec.cluster[v]], uint8_t{1});
+      }
       const edge_id start = wg.offsets[v];
       for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
-        has_edge[wg.targets[start + i]] = 1;
+        parallel::write_once(&has_edge[wg.targets[start + i]], uint8_t{1});
       }
     });
     std::vector<size_t> center_rank;

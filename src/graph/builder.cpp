@@ -86,6 +86,29 @@ graph from_sorted_pairs(size_t n, const std::vector<uint64_t>& packed_pairs) {
   return csr_from_sorted(n, packed_pairs);
 }
 
+csr_spans from_sorted_pairs_into(size_t n,
+                                 std::span<const uint64_t> sorted,
+                                 parallel::workspace& out_ws,
+                                 parallel::workspace& scratch_ws) {
+  const size_t m = sorted.size();
+  std::span<edge_id> offsets = out_ws.take<edge_id>(n + 1);
+  std::span<vertex_id> edges = out_ws.take<vertex_id>(m);
+  {
+    parallel::workspace::scope s(scratch_ws);
+    std::span<edge_id> counts = scratch_ws.take_zeroed<edge_id>(n);
+    parallel_for(0, m, [&](size_t i) {
+      parallel::fetch_add<edge_id>(&counts[edge_src(sorted[i])], 1);
+    });
+    const edge_id total = parallel::scan_exclusive_span<edge_id>(
+        n, [&](size_t i) { return counts[i]; }, offsets, scratch_ws);
+    offsets[n] = total;
+    assert(total == m);
+    (void)total;
+  }
+  parallel_for(0, m, [&](size_t i) { edges[i] = edge_tgt(sorted[i]); });
+  return {offsets, edges};
+}
+
 graph relabel_randomly(const graph& g, uint64_t seed) {
   const size_t n = g.num_vertices();
   const std::vector<vertex_id> perm = parallel::random_permutation(n, seed);

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "graph/graph.hpp"
+#include "parallel/arena.hpp"
 
 namespace pcc::graph {
 
@@ -25,6 +27,21 @@ graph from_edges(size_t n, edge_list edges, const build_options& opt = {});
 // Build directly from sorted CSR pieces without checks (internal use by
 // contraction, which guarantees its invariants).
 graph from_sorted_pairs(size_t n, const std::vector<uint64_t>& packed_pairs);
+
+// CSR pieces built into caller-provided arena storage (mutable so the
+// engine can run decompositions over them in place).
+struct csr_spans {
+  std::span<edge_id> offsets;   // size n+1
+  std::span<vertex_id> edges;   // size m
+};
+
+// Workspace-backed twin of from_sorted_pairs: the offsets and edge arrays
+// are carved from `out_ws` (they outlive the call), the per-vertex counts
+// and scan temporaries from `scratch_ws` (rewound before returning).
+csr_spans from_sorted_pairs_into(size_t n,
+                                 std::span<const uint64_t> packed_pairs,
+                                 parallel::workspace& out_ws,
+                                 parallel::workspace& scratch_ws);
 
 // Apply a random permutation to the vertex ids of g (the paper randomly
 // assigns vertex labels of the synthetic inputs to destroy memory locality).

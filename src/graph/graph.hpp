@@ -64,6 +64,32 @@ class graph {
   std::vector<vertex_id> edges_;   // size m (directed)
 };
 
+// Non-owning CSR view: the same offsets/edges shape as `graph`, but over
+// caller-managed storage (the connectivity engine keeps its per-level
+// contracted graphs in workspace arenas and hands them around as views).
+struct csr_view {
+  std::span<const edge_id> offsets;  // size n+1
+  std::span<const vertex_id> edges;  // size m
+
+  size_t num_vertices() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  size_t num_edges() const { return edges.size(); }
+
+  vertex_id degree(vertex_id v) const {
+    return static_cast<vertex_id>(offsets[v + 1] - offsets[v]);
+  }
+
+  std::span<const vertex_id> neighbors(vertex_id v) const {
+    return edges.subspan(offsets[v], degree(v));
+  }
+
+  static csr_view of(const graph& g) {
+    return {std::span<const edge_id>(g.offsets()),
+            std::span<const vertex_id>(g.edges())};
+  }
+};
+
 // A directed edge as a (source, target) pair; edge lists are the interchange
 // format between generators, the builder and I/O.
 using edge = std::pair<vertex_id, vertex_id>;

@@ -40,6 +40,21 @@ inline void atomic_store(T* loc, T value) {
   std::atomic_ref<T>(*loc).store(value, std::memory_order_release);
 }
 
+// Relaxed atomic store/load for intentionally racy flag writes where every
+// racing writer stores the same value (e.g. contract()'s has_edge marks).
+// Semantically equivalent to a plain store, but tells the compiler and the
+// thread sanitizer that the race is by design.
+template <typename T>
+inline void write_once(T* loc, T value) {
+  std::atomic_ref<T>(*loc).store(value, std::memory_order_relaxed);
+}
+
+template <typename T>
+inline T read_once(const T* loc) {
+  return std::atomic_ref<T>(*const_cast<T*>(loc))
+      .load(std::memory_order_relaxed);
+}
+
 // writeMin: atomically update *loc to min(*loc, val) under `less`.
 // Returns true iff this call changed the stored value.
 template <typename T, typename Less = std::less<T>>

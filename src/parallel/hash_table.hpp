@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "parallel/atomics.hpp"
@@ -73,6 +74,46 @@ class hash_set64 {
 
  private:
   std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+};
+
+// Non-owning twin of hash_set64 over caller-provided (workspace) storage —
+// same capacity rule, same probing, so it deduplicates identically. The
+// caller takes `slots_needed(max_elements)` words from its arena and hands
+// them over; the view fills them with kEmpty in parallel.
+class hash_set64_view {
+ public:
+  static constexpr uint64_t kEmpty = hash_set64::kEmpty;
+
+  // Slot count for up to `max_elements` inserts at load factor <= 1/2.
+  static size_t slots_needed(size_t max_elements) {
+    size_t cap = 16;
+    while (cap < 2 * max_elements + 1) cap <<= 1;
+    return cap;
+  }
+
+  // `slots` must be a power-of-two span (as returned by slots_needed).
+  explicit hash_set64_view(std::span<uint64_t> slots) : slots_(slots) {
+    mask_ = slots.size() - 1;
+    parallel_for(0, slots_.size(), [&](size_t i) { slots_[i] = kEmpty; });
+  }
+
+  // Phase-concurrent insert; true iff the key was newly added.
+  bool insert(uint64_t key) {
+    size_t i = static_cast<size_t>(hash64(key)) & mask_;
+    while (true) {
+      uint64_t cur = atomic_load(&slots_[i]);
+      if (cur == key) return false;
+      if (cur == kEmpty) {
+        if (cas(&slots_[i], kEmpty, key)) return true;
+        continue;  // lost the race; the winner may hold our key
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  std::span<uint64_t> slots_;
   size_t mask_ = 0;
 };
 

@@ -9,8 +9,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "parallel/arena.hpp"
 #include "parallel/defs.hpp"
 #include "parallel/scheduler.hpp"
 #include "parallel/sequence.hpp"
@@ -24,21 +26,21 @@ inline constexpr size_t kRadix = size_t{1} << kRadixBits;
 inline constexpr size_t kSortBlock = 1 << 14;  // elements per counting block
 inline constexpr size_t kSerialSortCutoff = 1 << 13;
 
-// One stable counting pass over `in`, scattering into `out`, keyed on
-// bits [shift, shift + kRadixBits) of key(x).
+// One stable counting pass over in[0, n), scattering into out, keyed on
+// bits [shift, shift + kRadixBits) of key(x). `counts` and `offsets` are
+// caller-provided scratch of nb * kRadix entries each.
 template <typename T, typename Key>
-void radix_pass(const std::vector<T>& in, std::vector<T>& out, int shift,
-                Key&& key) {
-  const size_t n = in.size();
+void radix_pass(const T* in, T* out, size_t n, int shift, Key&& key,
+                size_t* counts, size_t* offsets) {
   const size_t nb = n == 0 ? 0 : 1 + (n - 1) / kSortBlock;
   const uint64_t mask = kRadix - 1;
 
   // counts[b * kRadix + d] = #elements with digit d in block b.
-  std::vector<size_t> counts(nb * kRadix, 0);
   parallel_for(
       0, nb,
       [&](size_t b) {
-        size_t* c = counts.data() + b * kRadix;
+        size_t* c = counts + b * kRadix;
+        for (size_t d = 0; d < kRadix; ++d) c[d] = 0;
         const size_t lo = b * kSortBlock;
         const size_t hi = std::min(n, lo + kSortBlock);
         for (size_t i = lo; i < hi; ++i) ++c[(key(in[i]) >> shift) & mask];
@@ -47,7 +49,6 @@ void radix_pass(const std::vector<T>& in, std::vector<T>& out, int shift,
 
   // Stable scatter order = digit-major, then block, then position in block.
   // Transpose counts into digit-major order, scan, transpose back.
-  std::vector<size_t> offsets(nb * kRadix);
   size_t total = 0;
   for (size_t d = 0; d < kRadix; ++d) {
     for (size_t b = 0; b < nb; ++b) {
@@ -59,7 +60,7 @@ void radix_pass(const std::vector<T>& in, std::vector<T>& out, int shift,
   parallel_for(
       0, nb,
       [&](size_t b) {
-        size_t* off = offsets.data() + b * kRadix;
+        size_t* off = offsets + b * kRadix;
         const size_t lo = b * kSortBlock;
         const size_t hi = std::min(n, lo + kSortBlock);
         for (size_t i = lo; i < hi; ++i) {
@@ -68,6 +69,30 @@ void radix_pass(const std::vector<T>& in, std::vector<T>& out, int shift,
         }
       },
       1);
+}
+
+// LSD radix over a span with all scratch (the ping-pong buffer and the
+// per-block histograms) provided by a workspace. Stable, so it produces the
+// same ordering as the std::stable_sort small-input path of the vector
+// overload.
+template <typename T, typename Key>
+void integer_sort_ws(std::span<T> v, int key_bits, Key&& key, workspace& ws) {
+  const size_t n = v.size();
+  if (n <= 1) return;
+  workspace::scope s(ws);
+  std::span<T> tmp = ws.take<T>(n);
+  const size_t nb = 1 + (n - 1) / kSortBlock;
+  std::span<size_t> counts = ws.take<size_t>(nb * kRadix);
+  std::span<size_t> offsets = ws.take<size_t>(nb * kRadix);
+  T* a = v.data();
+  T* b = tmp.data();
+  for (int shift = 0; shift < key_bits; shift += kRadixBits) {
+    radix_pass(a, b, n, shift, key, counts.data(), offsets.data());
+    std::swap(a, b);
+  }
+  if (a != v.data()) {
+    parallel_for(0, n, [&](size_t i) { v[i] = tmp[i]; });
+  }
 }
 
 }  // namespace detail
@@ -85,17 +110,37 @@ void integer_sort(std::vector<T>& v, int key_bits, Key&& key) {
     });
     return;
   }
-  std::vector<T> tmp(n);
-  bool in_v = true;
-  for (int shift = 0; shift < key_bits; shift += detail::kRadixBits) {
-    if (in_v) {
-      detail::radix_pass(v, tmp, shift, key);
-    } else {
-      detail::radix_pass(tmp, v, shift, key);
+  if constexpr (std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>) {
+    workspace ws;
+    detail::integer_sort_ws(std::span<T>(v), key_bits, std::forward<Key>(key),
+                            ws);
+  } else {
+    // Types the workspace cannot hold (e.g. std::pair, which is not
+    // trivially copyable) get properly-constructed vector scratch. Same
+    // passes, same stable order.
+    std::vector<T> tmp(n);
+    const size_t nb = 1 + (n - 1) / detail::kSortBlock;
+    std::vector<size_t> counts(nb * detail::kRadix);
+    std::vector<size_t> offsets(nb * detail::kRadix);
+    T* a = v.data();
+    T* b = tmp.data();
+    for (int shift = 0; shift < key_bits; shift += detail::kRadixBits) {
+      detail::radix_pass(a, b, n, shift, key, counts.data(), offsets.data());
+      std::swap(a, b);
     }
-    in_v = !in_v;
+    if (a != v.data()) {
+      parallel_for(0, n, [&](size_t i) { v[i] = tmp[i]; });
+    }
   }
-  if (!in_v) v.swap(tmp);
+}
+
+// Stable sort of span `v` by the low `key_bits` bits of key(x), with every
+// temporary carved from `ws` (no system allocation once `ws` is warm).
+template <typename T, typename Key>
+void integer_sort_span(std::span<T> v, int key_bits, Key&& key,
+                       workspace& ws) {
+  detail::integer_sort_ws(v, key_bits, std::forward<Key>(key), ws);
 }
 
 // Convenience: sort a vector of unsigned integers by value.

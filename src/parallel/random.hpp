@@ -10,6 +10,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "parallel/defs.hpp"
@@ -69,6 +71,29 @@ class rng {
 // keys are broken by the sort's stability (by index), so the result is a
 // valid permutation regardless.
 std::vector<vertex_id> random_permutation(size_t n, uint64_t seed);
+
+// Workspace-backed variant: writes the permutation into `out` (size n) and
+// takes the (key, index) scratch from `ws`. Produces exactly the same
+// permutation as random_permutation (both sorts are stable over the same
+// keys).
+inline void random_permutation_into(size_t n, uint64_t seed,
+                                    std::span<vertex_id> out, workspace& ws) {
+  // std::pair is not trivially copyable, which workspace::take requires;
+  // use an equivalent aggregate.
+  struct keyed_index {
+    uint64_t key;
+    vertex_id idx;
+  };
+  rng gen(seed);
+  workspace::scope s(ws);
+  std::span<keyed_index> pairs = ws.take<keyed_index>(n);
+  parallel_for(0, n, [&](size_t i) {
+    pairs[i] = {gen[i], static_cast<vertex_id>(i)};
+  });
+  integer_sort_span(pairs, /*key_bits=*/40,
+                    [](const keyed_index& p) { return p.key >> 24; }, ws);
+  parallel_for(0, n, [&](size_t i) { out[i] = pairs[i].idx; });
+}
 
 inline std::vector<vertex_id> random_permutation(size_t n, uint64_t seed) {
   rng gen(seed);

@@ -58,9 +58,15 @@ inline int num_workers() {
   return omp_get_max_threads();
 }
 
-// Identifier of the calling worker in [0, num_workers()) (OpenMP backend;
-// pool workers report 0 — none of the algorithms rely on worker ids).
-inline int worker_id() { return omp_get_thread_num(); }
+// Identifier of the calling worker in [0, num_workers()). On the pool
+// backend this is the thread-local index stamped on each worker at startup
+// (0 = the submitting thread); on OpenMP it is the team-local thread id.
+inline int worker_id() {
+  if (current_backend() == backend::kThreadPool) {
+    return thread_pool::worker_index;
+  }
+  return omp_get_thread_num();
+}
 
 // Set the number of worker threads (global; OpenMP backend — the pool's
 // size is fixed at creation, its dynamic chunking makes the distinction

@@ -7,10 +7,13 @@
 // two-pass formulations).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <numeric>
+#include <span>
 #include <vector>
 
+#include "parallel/arena.hpp"
 #include "parallel/defs.hpp"
 #include "parallel/scheduler.hpp"
 
@@ -69,6 +72,43 @@ T reduce(size_t n, F&& f, T identity, Combine&& combine,
   T acc = identity;
   for (size_t b = 0; b < nb; ++b) acc = combine(acc, block[b]);
   return acc;
+}
+
+// Workspace-backed reduction: identical to reduce() but the block-sum
+// temporary comes from `ws` (rewound before returning) — the
+// allocation-free twin for the engine's hot path.
+template <typename T, typename F, typename Combine>
+T reduce_ws(size_t n, F&& f, T identity, Combine&& combine, workspace& ws,
+            size_t grain = kDefaultGrain) {
+  if (n == 0) return identity;
+  const size_t nb = detail::num_blocks(n, grain);
+  if (nb == 1) {
+    T acc = identity;
+    for (size_t i = 0; i < n; ++i) acc = combine(acc, f(i));
+    return acc;
+  }
+  workspace::scope s(ws);
+  std::span<T> block = ws.take<T>(nb);
+  parallel_for(
+      0, nb,
+      [&](size_t b) {
+        const size_t lo = b * grain;
+        const size_t hi = std::min(n, lo + grain);
+        T acc = identity;
+        for (size_t i = lo; i < hi; ++i) acc = combine(acc, f(i));
+        block[b] = acc;
+      },
+      1);
+  T acc = identity;
+  for (size_t b = 0; b < nb; ++b) acc = combine(acc, block[b]);
+  return acc;
+}
+
+// Sum of f(i) over [0, n) with workspace-backed scratch.
+template <typename T, typename F>
+T reduce_sum_ws(size_t n, F&& f, workspace& ws, size_t grain = kDefaultGrain) {
+  return reduce_ws(
+      n, std::forward<F>(f), T{0}, [](T a, T b) { return a + b; }, ws, grain);
 }
 
 // Sum of f(i) over [0, n).
@@ -132,6 +172,77 @@ T scan_exclusive_into(size_t n, F&& f, std::vector<T>& out,
         }
       },
       1);
+  return total;
+}
+
+// Workspace-backed exclusive scan: out (size n) is caller-provided and the
+// block-sum temporary comes from `ws` (rewound before returning). This is
+// the allocation-free twin of scan_exclusive_into for the engine's hot path.
+template <typename T, typename F>
+T scan_exclusive_span(size_t n, F&& f, std::span<T> out, workspace& ws,
+                      size_t grain = kDefaultGrain) {
+  assert(out.size() >= n);
+  if (n == 0) return T{0};
+  const size_t nb = detail::num_blocks(n, grain);
+  if (nb == 1) {
+    T acc{0};
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = acc;
+      acc += f(i);
+    }
+    return acc;
+  }
+  workspace::scope s(ws);
+  std::span<T> block = ws.take<T>(nb);
+  parallel_for(
+      0, nb,
+      [&](size_t b) {
+        const size_t lo = b * grain;
+        const size_t hi = std::min(n, lo + grain);
+        T acc{0};
+        for (size_t i = lo; i < hi; ++i) acc += f(i);
+        block[b] = acc;
+      },
+      1);
+  T total{0};
+  for (size_t b = 0; b < nb; ++b) {
+    const T s2 = block[b];
+    block[b] = total;
+    total += s2;
+  }
+  parallel_for(
+      0, nb,
+      [&](size_t b) {
+        const size_t lo = b * grain;
+        const size_t hi = std::min(n, lo + grain);
+        T acc = block[b];
+        for (size_t i = lo; i < hi; ++i) {
+          out[i] = acc;
+          acc += f(i);
+        }
+      },
+      1);
+  return total;
+}
+
+// Workspace-backed pack_index: write the indices i in [0, n) with keep(i)
+// into `out` (capacity >= count), returning the count. Scan scratch comes
+// from `ws`.
+template <typename Index = size_t, typename Keep>
+size_t pack_index_span(size_t n, Keep&& keep, std::span<Index> out,
+                       workspace& ws, size_t grain = kDefaultGrain) {
+  workspace::scope s(ws);
+  std::span<size_t> offsets = ws.take<size_t>(n);
+  const size_t total = scan_exclusive_span<size_t>(
+      n, [&](size_t i) { return keep(i) ? size_t{1} : size_t{0}; }, offsets,
+      ws, grain);
+  assert(out.size() >= total);
+  parallel_for(
+      0, n,
+      [&](size_t i) {
+        if (keep(i)) out[offsets[i]] = static_cast<Index>(i);
+      },
+      grain);
   return total;
 }
 

@@ -20,9 +20,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace pcc::parallel {
@@ -39,7 +40,9 @@ class thread_pool {
   explicit thread_pool(size_t num_workers) {
     workers_.reserve(num_workers);
     for (size_t i = 0; i < num_workers; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      // Worker i gets id i + 1; id 0 belongs to whichever thread submits
+      // the region (see worker_index below).
+      workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i) + 1); });
     }
   }
 
@@ -58,11 +61,25 @@ class thread_pool {
   // Run block_fn(b) for every b in [0, num_blocks), in parallel with the
   // calling thread participating. Blocking; returns when all blocks ran.
   // Must not be called from inside a pool job (callers handle nesting by
-  // running inline — see scheduler.hpp).
-  void run(size_t num_blocks, const std::function<void(size_t)>& block_fn) {
+  // running inline — see scheduler.hpp). The callable is passed by
+  // reference through a raw (fn pointer, context) pair — unlike
+  // std::function this never heap-allocates, which keeps parallel regions
+  // off the allocator on the engine's hot path.
+  template <typename F>
+  void run(size_t num_blocks, F&& block_fn) {
+    using Fn = std::remove_reference_t<F>;
+    run_erased(
+        num_blocks,
+        [](void* ctx, size_t b) { (*static_cast<Fn*>(ctx))(b); },
+        const_cast<void*>(static_cast<const void*>(&block_fn)));
+  }
+
+  void run_erased(size_t num_blocks, void (*invoke)(void*, size_t),
+                  void* ctx) {
     if (num_blocks == 0) return;
     job j;
-    j.fn = &block_fn;
+    j.invoke = invoke;
+    j.ctx = ctx;
     j.num_blocks = num_blocks;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -88,9 +105,14 @@ class thread_pool {
   // the inline-nesting policy).
   static thread_local bool in_region;
 
+  // Stable per-thread worker id: 0 for the submitting thread, i + 1 for
+  // pool worker i. Backs parallel::worker_id() on this backend.
+  static thread_local int worker_index;
+
  private:
   struct job {
-    const std::function<void(size_t)>* fn = nullptr;
+    void (*invoke)(void*, size_t) = nullptr;
+    void* ctx = nullptr;
     size_t num_blocks = 0;
     std::atomic<size_t> next{0};
     std::atomic<int> active{0};
@@ -109,7 +131,7 @@ class thread_pool {
     while (true) {
       const size_t b = j.next.fetch_add(1, std::memory_order_acq_rel);
       if (b >= j.num_blocks) break;
-      (*j.fn)(b);
+      j.invoke(j.ctx, b);
     }
     if (j.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Possibly the last one out: wake the submitter.
@@ -118,7 +140,8 @@ class thread_pool {
     }
   }
 
-  void worker_loop() {
+  void worker_loop(int id) {
+    worker_index = id;
     uint64_t seen_epoch = 0;
     while (true) {
       job* j = nullptr;
@@ -151,5 +174,6 @@ class thread_pool {
 };
 
 inline thread_local bool thread_pool::in_region = false;
+inline thread_local int thread_pool::worker_index = 0;
 
 }  // namespace pcc::parallel

@@ -12,6 +12,7 @@
 #include "baselines/rem_union_find.hpp"
 #include "baselines/union_find.hpp"
 #include "baselines/verify.hpp"
+#include "core/cc_engine.hpp"
 #include "core/component_index.hpp"
 #include "core/connectivity.hpp"
 #include "core/contract.hpp"
@@ -25,6 +26,7 @@
 #include "graph/stats.hpp"
 #include "graph/subgraph.hpp"
 #include "graph/vertex_subset.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/hash_map.hpp"
 #include "parallel/hash_table.hpp"

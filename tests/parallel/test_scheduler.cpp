@@ -78,6 +78,29 @@ TEST(ParDo, RecursiveDivideAndConquerSum) {
   EXPECT_EQ(rec::sum(data, 0, n), uint64_t{n} * (n - 1) / 2);
 }
 
+TEST(Workers, WorkerIdsAreInRangeAndStable) {
+  // worker_id() must return a stable id in [0, num_workers()) on both
+  // backends — code that partitions per-worker scratch relies on it.
+  for (backend b : {backend::kOpenMP, backend::kThreadPool}) {
+    scoped_backend guard(b);
+    const int nw = num_workers();
+    const size_t n = 1 << 16;
+    std::vector<int> ids(n, -1);
+    parallel_for(0, n, [&](size_t i) { ids[i] = worker_id(); }, 64);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_GE(ids[i], 0) << i;
+      ASSERT_LT(ids[i], nw) << i;
+    }
+    // Two calls on the same thread agree (stability within a region).
+    parallel_for(0, n, [&](size_t i) {
+      const int a = worker_id();
+      const int c = worker_id();
+      if (a != c) ids[i] = -1;
+    }, 64);
+    for (size_t i = 0; i < n; ++i) ASSERT_NE(ids[i], -1) << i;
+  }
+}
+
 TEST(Workers, ScopedOverrideRestores) {
   const int before = num_workers();
   {
