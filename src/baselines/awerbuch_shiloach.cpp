@@ -18,6 +18,8 @@ namespace {
 using parallel::atomic_load;
 using parallel::atomic_store;
 using parallel::parallel_for;
+using parallel::read_once;
+using parallel::write_once;
 
 // Classic parallel star detection: st[v] is true iff v belongs to a tree
 // of depth <= 1 (a star).
@@ -29,13 +31,17 @@ void detect_stars(const std::vector<vertex_id>& parent,
     const vertex_id p = parent[v];
     const vertex_id gp = parent[p];
     if (p != gp) {
-      st[v] = 0;
-      st[gp] = 0;  // the grandparent heads a non-star tree
+      // Benign same-value races: every concurrent writer stores 0, and v
+      // may simultaneously be some other vertex's grandparent.
+      write_once(&st[v], uint8_t{0});
+      write_once(&st[gp], uint8_t{0});  // the grandparent heads a non-star tree
     }
   });
   parallel_for(0, n, [&](size_t v) {
     // Members of a non-star tree inherit the verdict of their parent.
-    if (st[v]) st[v] = st[parent[v]];
+    // Benign race: st[parent[v]] can only be rewritten with its own value
+    // here (a root's parent is itself), so either read order is correct.
+    if (st[v]) write_once(&st[v], read_once(&st[parent[v]]));
   });
 }
 
@@ -88,12 +94,14 @@ std::vector<vertex_id> awerbuch_shiloach_components(const graph::graph& g) {
       }
     });
 
-    // (3) Shortcut.
+    // (3) Shortcut. Benign pointer-jumping race: parent[p] may be
+    // concurrently shortcut by p itself, but every value ever stored is a
+    // valid (weakly closer) ancestor, so any interleaving converges.
     parallel_for(0, n, [&](size_t v) {
       const vertex_id p = parent[v];
-      const vertex_id gp = parent[p];
+      const vertex_id gp = read_once(&parent[p]);
       if (p != gp) {
-        parent[v] = gp;
+        write_once(&parent[v], gp);
         atomic_store(&any, uint8_t{1});
       }
     });

@@ -45,25 +45,32 @@ bfs_result hybrid_bfs_label(const graph::graph& g, vertex_id source,
     if (frontier.size() > dense_cutoff) {
       // Bottom-up step: unvisited vertices look for a frontier neighbour.
       ++res.dense_rounds;
-      parallel_for(0, frontier.size(),
-                   [&](size_t i) { on_frontier[frontier[i]] = 1; });
+      parallel_for(0, frontier.size(), [&](size_t i) {
+        // lint: private-write(frontier holds distinct vertex ids)
+        on_frontier[frontier[i]] = 1;
+      });
       parallel_for(0, n, [&](size_t vi) {
         const vertex_id v = static_cast<vertex_id>(vi);
         if (labels[v] != kNoVertex) return;
         for (vertex_id u : g.neighbors(v)) {
           if (on_frontier[u]) {
+            // lint: private-write(v == vi; only iteration vi touches slot v)
             labels[v] = label;
-            next_flags[v] = 1;
+            next_flags[v] = 1;  // lint: private-write(same owner invariant)
             break;
           }
         }
       });
-      parallel_for(0, frontier.size(),
-                   [&](size_t i) { on_frontier[frontier[i]] = 0; });
+      parallel_for(0, frontier.size(), [&](size_t i) {
+        // lint: private-write(frontier holds distinct vertex ids)
+        on_frontier[frontier[i]] = 0;
+      });
       std::vector<vertex_id> gathered = parallel::pack_index<vertex_id>(
           n, [&](size_t v) { return next_flags[v] != 0; });
-      parallel_for(0, gathered.size(),
-                   [&](size_t i) { next_flags[gathered[i]] = 0; });
+      parallel_for(0, gathered.size(), [&](size_t i) {
+        // lint: private-write(gathered holds distinct vertex ids)
+        next_flags[gathered[i]] = 0;
+      });
       res.num_visited += gathered.size();
       frontier.swap(gathered);
     } else {

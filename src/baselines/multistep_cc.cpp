@@ -35,6 +35,7 @@ std::vector<vertex_id> multistep_components(const graph::graph& g) {
   std::vector<vertex_id> active = parallel::pack_index<vertex_id>(
       n, [&](size_t v) { return labels[v] == kNoVertex; });
   parallel::parallel_for(0, active.size(), [&](size_t i) {
+    // lint: private-write(active[] holds distinct vertex ids, one writer each)
     labels[active[i]] = active[i];
   });
 
@@ -44,8 +45,11 @@ std::vector<vertex_id> multistep_components(const graph::graph& g) {
       const vertex_id v = active[i];
       const vertex_id lv = parallel::atomic_load(&labels[v]);
       for (vertex_id w : g.neighbors(v)) {
-        // Propagate the smaller label across the edge.
-        if (parallel::write_min(&labels[w], lv)) changed[w] = 1;
+        // Propagate the smaller label across the edge. Concurrent winners
+        // all store the same flag value, so the mark is a write_once.
+        if (parallel::write_min(&labels[w], lv)) {
+          parallel::write_once(&changed[w], uint8_t{1});
+        }
       }
     });
     // A vertex whose label changed must re-broadcast next round.

@@ -83,6 +83,7 @@ std::vector<vertex_id> parallel_sf_pbbs_components(const graph::graph& g) {
     parallel::parallel_for(0, n, [&](size_t u) {
       size_t k = offsets[u];
       for (vertex_id w : g.neighbors(static_cast<vertex_id>(u))) {
+        // lint: private-write(u owns the slice [offsets[u], offsets[u+1]))
         if (u < w) edges[k++] = {static_cast<vertex_id>(u), w};
       }
     });

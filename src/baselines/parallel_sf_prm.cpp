@@ -16,6 +16,7 @@
 // possible.
 
 #include <atomic>
+#include <thread>
 
 #include "baselines/baselines.hpp"
 #include "baselines/union_find.hpp"
@@ -32,7 +33,12 @@ class spinlocks {
     for (auto& l : locks_) l.clear();
   }
   void lock(vertex_id i) {
+    // Test-and-test-and-set with a yield: when threads outnumber cores
+    // (stress/TSan runs), a bare spin starves the preempted lock holder.
     while (locks_[i].test_and_set(std::memory_order_acquire)) {
+      while (locks_[i].test(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
     }
   }
   void unlock(vertex_id i) { locks_[i].clear(std::memory_order_release); }

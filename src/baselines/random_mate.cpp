@@ -55,9 +55,12 @@ std::vector<vertex_id> random_mate_components(const graph::graph& g,
     if (any_cross == 0) break;
 
     // Compress to stars (depth <= 2 after hooking, so two jumps suffice).
+    // Benign pointer-jumping race: parent[parent[v]] may be concurrently
+    // rewritten by its owner, but every stored value is a valid ancestor.
     for (int jump = 0; jump < 2; ++jump) {
       parallel::parallel_for(0, n, [&](size_t v) {
-        parent[v] = parent[parent[v]];
+        const vertex_id p = parent[v];
+        parallel::write_once(&parent[v], parallel::read_once(&parent[p]));
       });
     }
   }

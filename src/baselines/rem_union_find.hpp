@@ -13,7 +13,9 @@
 // exercise 2.3.3-story in Dijkstra's "A Discipline of Programming".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "parallel/atomics.hpp"
@@ -82,7 +84,12 @@ class parallel_rem_union_find {
 
  private:
   void lock(vertex_id i) {
+    // Test-and-test-and-set with a yield: when threads outnumber cores
+    // (stress/TSan runs), a bare spin starves the preempted lock holder.
     while (locks_[i].test_and_set(std::memory_order_acquire)) {
+      while (locks_[i].test(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
     }
   }
   void unlock(vertex_id i) { locks_[i].clear(std::memory_order_release); }

@@ -82,6 +82,10 @@ void cc_engine::reserve(size_t n, size_t m) {
   graph_[0].reserve(sizeof(vertex_id) * (m + n));
   graph_[1].reserve(sizeof(vertex_id) * (m + n));
   scratch_.reserve(sizeof(vertex_id) * 16 * n + 8 * m);
+  // Level count varies run to run (the decomposition's benign races make
+  // clustering schedule-dependent), so sizing frames_ off the first run's
+  // depth would let a deeper rerun reallocate; reserve the cap instead.
+  frames_.reserve(opt_.max_levels);
 }
 
 std::span<const vertex_id> cc_engine::run(const graph::graph& g,
@@ -96,6 +100,9 @@ std::span<const vertex_id> cc_engine::run(const graph::graph& g,
   graph_[0].reset();
   graph_[1].reset();
   frames_.clear();
+  // No-op after the first run; see the note in reserve() on why frames_
+  // is sized by the cap rather than by observed depth.
+  frames_.reserve(opt_.max_levels);
 
   if (n0 == 0) return {};
   std::span<vertex_id> labels = persist_.take<vertex_id>(n0);

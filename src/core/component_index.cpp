@@ -38,6 +38,7 @@ component_index::component_index(const std::vector<vertex_id>& labels) {
   // component is not part of the contract).
   sizes_.resize(k);
   parallel::parallel_for(0, n, [&](size_t l) {
+    // lint: private-write(rank is injective on labels with counts[l] > 0)
     if (counts[l] > 0) sizes_[rank[l]] = counts[l];
   });
   starts_.resize(k + 1);
@@ -51,6 +52,7 @@ component_index::component_index(const std::vector<vertex_id>& labels) {
   parallel::parallel_for(0, n, [&](size_t v) {
     const size_t pos =
         parallel::fetch_add<size_t>(&cursor[comp_of_[v]], size_t{1});
+    // lint: private-write(fetch_add hands each writer a unique slot)
     vertices_[pos] = static_cast<vertex_id>(v);
   });
 

@@ -104,6 +104,7 @@ contraction_view contract_into(const ldd::work_graph& wg,
     if (cluster[c] == c && has_edge[c]) {
       const vertex_id x = static_cast<vertex_id>(center_rank[c]);
       out.new_id[c] = x;
+      // lint: private-write(center_rank is injective on surviving centers)
       out.rep[x] = static_cast<vertex_id>(c);
     } else {
       out.new_id[c] = kNoVertex;
@@ -121,6 +122,7 @@ contraction_view contract_into(const ldd::work_graph& wg,
     for (vertex_id i = 0; i < D[v]; ++i) {
       const vertex_id tgt = out.new_id[E[start + i]];
       assert(src != kNoVertex && tgt != kNoVertex && src != tgt);
+      // lint: private-write(v owns the slice [gather_off[v], gather_off[v+1]))
       pairs[base + i] = (static_cast<uint64_t>(src) << 32) | tgt;
     }
   });

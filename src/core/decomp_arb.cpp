@@ -79,9 +79,11 @@ decomp_info decomp_arb_into(work_graph& wg, const options& opt,
           if (atomic_load(&C[w]) == kNoVertex &&
               cas(&C[w], kNoVertex, my_label)) {
             next[fetch_add<size_t>(&next_size, 1)] = w;
+            // lint: private-write(iteration i owns edge slot start + i)
             E[start + i] = kNoVertex;
           } else {
             const vertex_id w_label = atomic_load(&C[w]);
+            // lint: private-write(iteration i owns edge slot start + i)
             E[start + i] = w_label != my_label ? w_label : kNoVertex;
           }
         });
@@ -94,9 +96,14 @@ decomp_info decomp_arb_into(work_graph& wg, const options& opt,
             pos);
         std::vector<vertex_id> packed(kept);
         parallel_for(0, deg, [&](size_t i) {
+          // lint: private-write(pos is an exclusive scan, injective on kept i)
           if (E[start + i] != kNoVertex) packed[pos[i]] = E[start + i];
         });
-        parallel_for(0, kept, [&](size_t i) { E[start + i] = packed[i]; });
+        parallel_for(0, kept, [&](size_t i) {
+          // lint: private-write(iteration i owns edge slot start + i)
+          E[start + i] = packed[i];
+        });
+        // lint: private-write(frontier holds distinct vertices)
         D[v] = static_cast<vertex_id>(kept);
         return;
       }
@@ -110,12 +117,13 @@ decomp_info decomp_arb_into(work_graph& wg, const options& opt,
         } else {
           const vertex_id w_label = atomic_load(&C[w]);
           if (w_label != my_label) {
+            // lint: private-write(v owns its own CSR slice [start, start+deg))
             E[start + k] = w_label;  // inter-cluster: keep, relabeled
             ++k;
           }
         }
       }
-      D[v] = k;
+      D[v] = k;  // lint: private-write(frontier holds distinct vertices)
     });
     std::swap(frontier, next);
     frontier_size = next_size;

@@ -69,8 +69,10 @@ decomp_info decomp_arb_hybrid_into(work_graph& wg, const options& opt,
     if (frontier_size > dense_cutoff) {
       // Read-based (dense) round.
       ++res.num_dense_rounds;
-      parallel_for(0, frontier_size,
-                   [&](size_t i) { on_frontier[frontier[i]] = 1; });
+      parallel_for(0, frontier_size, [&](size_t i) {
+        // lint: private-write(frontier holds distinct vertex ids)
+        on_frontier[frontier[i]] = 1;
+      });
       parallel_for(0, n, [&](size_t vi) {
         const vertex_id v = static_cast<vertex_id>(vi);
         if (C[v] != kNoVertex) return;
@@ -79,20 +81,26 @@ decomp_info decomp_arb_hybrid_into(work_graph& wg, const options& opt,
         for (vertex_id i = 0; i < deg; ++i) {
           const vertex_id u = E[start + i];
           if (on_frontier[u]) {
-            C[v] = C[u];  // only v writes C[v]: no atomics needed
-            next_flags[v] = 1;
+            // C[u] is stable: frontier labels were fixed before this phase.
+            // lint: private-write(v == vi, only iteration vi writes C[v])
+            C[v] = C[u];
+            next_flags[v] = 1;  // lint: private-write(same owner invariant)
             break;  // direction-optimization early exit
           }
         }
       });
       // Gather the next frontier and reset the scratch flag arrays by
       // touching only the entries that were set.
-      parallel_for(0, frontier_size,
-                   [&](size_t i) { on_frontier[frontier[i]] = 0; });
+      parallel_for(0, frontier_size, [&](size_t i) {
+        // lint: private-write(frontier holds distinct vertex ids)
+        on_frontier[frontier[i]] = 0;
+      });
       const size_t gathered = parallel::pack_index_span<vertex_id>(
           n, [&](size_t v) { return next_flags[v] != 0; }, next, ws);
-      parallel_for(0, gathered,
-                   [&](size_t i) { next_flags[next[i]] = 0; });
+      parallel_for(0, gathered, [&](size_t i) {
+        // lint: private-write(next holds distinct vertex ids)
+        next_flags[next[i]] = 0;
+      });
       std::swap(frontier, next);
       frontier_size = gathered;
       if (pt != nullptr) pt->add("bfsDense", t.lap());
@@ -114,13 +122,14 @@ decomp_info decomp_arb_hybrid_into(work_graph& wg, const options& opt,
           } else {
             const vertex_id w_label = atomic_load(&C[w]);
             if (w_label != my_label) {
+              // lint: private-write(v owns its CSR slice [start, start+deg))
               E[start + k] = internal::mark_edge(w_label);
               ++k;
             }
           }
         }
-        D[v] = k;
-        resolved[v] = 1;
+        D[v] = k;  // lint: private-write(frontier holds distinct vertices)
+        resolved[v] = 1;  // lint: private-write(same owner invariant)
       });
       std::swap(frontier, next);
       frontier_size = next_size;
@@ -144,13 +153,15 @@ decomp_info decomp_arb_hybrid_into(work_graph& wg, const options& opt,
         const vertex_id w = E[start + i];  // raw target: never relabeled
         const vertex_id w_label = C[w];
         if (w_label != my_label) {
+          // lint: private-write(v owns its CSR slice [start, start+deg))
           E[start + k] = w_label;
           ++k;
         }
       }
-      D[v] = k;
+      D[v] = k;  // lint: private-write(v == vi: one writer per slot)
     } else {
       for (vertex_id i = 0; i < D[v]; ++i) {
+        // lint: private-write(v owns its CSR slice [start, start+deg))
         E[start + i] = internal::unmark_edge(E[start + i]);
       }
     }

@@ -95,17 +95,19 @@ decomp_info decomp_min_into(work_graph& wg, const options& opt,
         if (pair_first(cw) != kVisitedFrac) {
           // Unvisited (or only writeMin-marked this round): compete.
           write_min(&C[w], pack_pair(my_frac, my_label));
+          // lint: private-write(v owns its CSR slice [start, start+deg))
           E[start + k] = w;  // status unknown until phase 2
           ++k;
         } else if (pair_second(cw) != my_label) {
           // Visited in an earlier round, different cluster: inter-cluster.
           // Relabel now and set the mark bit so phase 2 skips it.
+          // lint: private-write(v owns its CSR slice [start, start+deg))
           E[start + k] = internal::mark_edge(pair_second(cw));
           ++k;
         }
         // else: intra-cluster, deleted.
       }
-      D[v] = k;
+      D[v] = k;  // lint: private-write(frontier holds distinct vertices)
     });
     if (pt != nullptr) pt->add("bfsPhase1", t.lap());
 
@@ -133,16 +135,18 @@ decomp_info decomp_min_into(work_graph& wg, const options& opt,
           } else {
             const vertex_id w_label = pair_second(atomic_load(&C[w]));
             if (w_label != my_label) {
+              // lint: private-write(v owns its CSR slice [start, start+deg))
               E[start + k] = internal::mark_edge(w_label);
               ++k;
             }
           }
         } else {
+          // lint: private-write(v owns its CSR slice [start, start+deg))
           E[start + k] = w;  // resolved in phase 1, keep as-is
           ++k;
         }
       }
-      D[v] = k;
+      D[v] = k;  // lint: private-write(frontier holds distinct vertices)
     });
     std::swap(frontier, next);
     frontier_size = next_size;
@@ -156,6 +160,7 @@ decomp_info decomp_min_into(work_graph& wg, const options& opt,
   parallel_for(0, n, [&](size_t v) {
     const edge_id start = V[v];
     for (vertex_id i = 0; i < D[v]; ++i) {
+      // lint: private-write(v owns its CSR slice [start, start+deg))
       E[start + i] = internal::unmark_edge(E[start + i]);
     }
     cluster[v] = pair_second(C[v]);

@@ -144,6 +144,7 @@ size_t add_new_centers(const shift_schedule& sched, size_t round,
   std::span<size_t> pos = ws.take<size_t>(end - begin);
   parallel::parallel_for(begin, end, [&](size_t i) {
     const vertex_id v = sched.vertex_at(i);
+    // lint: private-write(iteration i owns slot i - begin)
     flags[i - begin] = is_unvisited(v) ? 1 : 0;
   });
   const size_t added = parallel::scan_exclusive_span<size_t>(
@@ -153,6 +154,7 @@ size_t add_new_centers(const shift_schedule& sched, size_t round,
     if (flags[i - begin]) {
       const vertex_id v = sched.vertex_at(i);
       make_center(v);
+      // lint: private-write(pos is an exclusive scan, injective on flagged i)
       frontier[frontier_size + pos[i - begin]] = v;
     }
   });

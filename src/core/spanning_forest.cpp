@@ -54,6 +54,7 @@ witness_graph level0(const graph::graph& g) {
     wg.degrees[v] = g.degree(static_cast<vertex_id>(v));
     const edge_id start = wg.offsets[v];
     for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
+      // lint: private-write(v owns its CSR slice [start, start+deg))
       wg.witness[start + i] = pack_witness(
           {static_cast<vertex_id>(v), wg.targets[start + i]});
     }
@@ -111,12 +112,15 @@ ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
         } else {
           const vertex_id w_label = atomic_load(&C[w]);
           if (w_label != my_label) {
+            // lint: private-write(v owns its CSR slice [start, start+deg))
             wg.targets[start + k] = w_label;
+            // lint: private-write(same per-v CSR slice invariant)
             wg.witness[start + k] = wg.witness[start + i];
             ++k;
           }
         }
       }
+      // lint: private-write(frontier holds distinct vertices)
       wg.degrees[v] = k;
     });
     std::swap(frontier, next);

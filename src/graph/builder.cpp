@@ -55,6 +55,7 @@ graph from_edges(size_t n, edge_list edges, const build_options& opt) {
     const auto [u, v] = edges[i];
     assert(u < n && v < n);
     packed[i] = pack_edge(u, v);
+    // lint: private-write(m_in + i is injective in i)
     if (opt.symmetrize) packed[m_in + i] = pack_edge(v, u);
   });
   edges.clear();
@@ -118,6 +119,7 @@ graph relabel_randomly(const graph& g, uint64_t seed) {
     const edge_id base = g.offset(static_cast<vertex_id>(u));
     const auto nbrs = g.neighbors(static_cast<vertex_id>(u));
     for (size_t j = 0; j < nbrs.size(); ++j) {
+      // lint: private-write(u owns the slice [offset(u), offset(u+1)))
       edges[base + j] = {perm[u], perm[nbrs[j]]};
     }
   });

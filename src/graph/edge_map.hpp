@@ -53,6 +53,7 @@ vertex_subset edge_map(const graph& g, const vertex_subset& frontier,
       if (!cond(d)) return;
       for (vertex_id s : g.neighbors(d)) {
         if (on[s] && update(s, d)) {
+          // lint: private-write(d == di: only iteration di writes out[d])
           out[d] = 1;
           if (!cond(d)) break;  // early exit once d is settled
         }

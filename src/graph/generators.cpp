@@ -20,6 +20,7 @@ graph random_graph(size_t n, size_t degree, uint64_t seed) {
   edge_list edges(n * degree);
   parallel_for(0, n, [&](size_t u) {
     for (size_t j = 0; j < degree; ++j) {
+      // lint: private-write(u owns the slice [u*degree, (u+1)*degree))
       edges[u * degree + j] = {static_cast<vertex_id>(u),
                                static_cast<vertex_id>(gen.bounded(u * degree + j, n))};
     }
@@ -93,8 +94,11 @@ graph grid3d_graph(size_t n, bool randomize_labels, uint64_t seed) {
     const size_t x = i / (side * side);
     // One direction per dimension (torus wrap); symmetrization adds the
     // reverse, giving the six neighbours of the paper's description.
+    // lint: private-write(iteration i owns the slice [3i, 3i+3))
     edges[3 * i + 0] = {id(x, y, z), id((x + 1) % side, y, z)};
+    // lint: private-write(same per-i slice invariant)
     edges[3 * i + 1] = {id(x, y, z), id(x, (y + 1) % side, z)};
+    // lint: private-write(same per-i slice invariant)
     edges[3 * i + 2] = {id(x, y, z), id(x, y, (z + 1) % side)};
   });
   graph g = from_edges(total, std::move(edges));

@@ -19,6 +19,7 @@ graph induced_subgraph(const graph& g, const std::vector<uint8_t>& keep,
   if (old_ids != nullptr) {
     old_ids->resize(k);
     parallel::parallel_for(0, n, [&](size_t v) {
+      // lint: private-write(new_of is an exclusive scan, injective on kept v)
       if (keep[v]) (*old_ids)[new_of[v]] = static_cast<vertex_id>(v);
     });
   }
@@ -41,9 +42,11 @@ graph induced_subgraph(const graph& g, const std::vector<uint8_t>& keep,
   std::vector<vertex_id> edges(m);
   parallel::parallel_for(0, n, [&](size_t v) {
     if (!keep[v]) return;
+    // lint: private-write(new_of is an exclusive scan, injective on kept v)
     offsets[new_of[v]] = deg_off[v];
     size_t pos = deg_off[v];
     for (vertex_id w : g.neighbors(static_cast<vertex_id>(v))) {
+      // lint: private-write(v owns the slice [deg_off[v], deg_off[v+1]))
       if (keep[w]) edges[pos++] = static_cast<vertex_id>(new_of[w]);
     }
   });

@@ -93,8 +93,10 @@ class vertex_subset {
   const std::vector<uint8_t>& dense() const {
     if (!has_dense_) {
       dense_.assign(n_, 0);
-      parallel::parallel_for(0, sparse_.size(),
-                             [&](size_t i) { dense_[sparse_[i]] = 1; });
+      parallel::parallel_for(0, sparse_.size(), [&](size_t i) {
+        // lint: private-write(sparse_ holds distinct vertex ids)
+        dense_[sparse_[i]] = 1;
+      });
       has_dense_ = true;
     }
     return dense_;

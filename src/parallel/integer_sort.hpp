@@ -65,6 +65,7 @@ void radix_pass(const T* in, T* out, size_t n, int shift, Key&& key,
         const size_t hi = std::min(n, lo + kSortBlock);
         for (size_t i = lo; i < hi; ++i) {
           const size_t d = (key(in[i]) >> shift) & mask;
+          // lint: private-write(scanned histograms give blocks disjoint ranges)
           out[off[d]++] = in[i];
         }
       },

@@ -85,7 +85,10 @@ void sample_sort(std::vector<T>& v, Less less = Less{}, uint64_t seed = 0x5a) {
         const size_t lo = b * detail::kSampleSortBlock;
         const size_t hi = std::min(n, lo + detail::kSampleSortBlock);
         size_t* off = offsets.data() + b * num_buckets;
-        for (size_t i = lo; i < hi; ++i) out[off[bucket[i]]++] = v[i];
+        for (size_t i = lo; i < hi; ++i) {
+          // lint: private-write(scanned histograms give blocks disjoint ranges)
+          out[off[bucket[i]]++] = v[i];
+        }
       },
       1);
 

@@ -167,7 +167,7 @@ T scan_exclusive_into(size_t n, F&& f, std::vector<T>& out,
         const size_t hi = std::min(n, lo + grain);
         T acc = block[b];
         for (size_t i = lo; i < hi; ++i) {
-          out[i] = acc;
+          out[i] = acc;  // lint: private-write(block b owns [lo, hi))
           acc += f(i);
         }
       },
@@ -217,7 +217,7 @@ T scan_exclusive_span(size_t n, F&& f, std::span<T> out, workspace& ws,
         const size_t hi = std::min(n, lo + grain);
         T acc = block[b];
         for (size_t i = lo; i < hi; ++i) {
-          out[i] = acc;
+          out[i] = acc;  // lint: private-write(block b owns [lo, hi))
           acc += f(i);
         }
       },
@@ -240,6 +240,7 @@ size_t pack_index_span(size_t n, Keep&& keep, std::span<Index> out,
   parallel_for(
       0, n,
       [&](size_t i) {
+        // lint: private-write(offsets is an exclusive scan, injective)
         if (keep(i)) out[offsets[i]] = static_cast<Index>(i);
       },
       grain);
@@ -269,6 +270,7 @@ std::vector<T> pack(const std::vector<T>& in, Keep&& keep,
   parallel_for(
       0, n,
       [&](size_t i) {
+        // lint: private-write(offsets is an exclusive scan, injective)
         if (keep(i)) out[offsets[i]] = in[i];
       },
       grain);
@@ -288,6 +290,7 @@ std::vector<Index> pack_index(size_t n, Keep&& keep,
   parallel_for(
       0, n,
       [&](size_t i) {
+        // lint: private-write(offsets is an exclusive scan, injective)
         if (keep(i)) out[offsets[i]] = static_cast<Index>(i);
       },
       grain);

@@ -86,6 +86,7 @@ size_t speculative_for(Step& step, size_t num_iterates,
     std::vector<uint64_t> attempt(batch);
     parallel_for(0, live.size(), [&](size_t i) { attempt[i] = live[i]; });
     parallel_for(0, fresh, [&](size_t i) {
+      // lint: private-write(live.size() + i is injective in i)
       attempt[live.size() + i] = next_fresh + i;
     });
     next_fresh += fresh;

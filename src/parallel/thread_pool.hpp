@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -119,6 +120,15 @@ class thread_pool {
   };
 
   static size_t default_worker_count() {
+    // PCC_POOL_THREADS overrides the pool size (total threads including
+    // the submitter). Lets stress/TSan runs force real parallelism on
+    // machines where hardware_concurrency() would yield zero workers.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before any worker
+    // thread exists (function-local static init of the singleton pool).
+    if (const char* env = std::getenv("PCC_POOL_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<size_t>(v) - 1;
+    }
     const unsigned hc = std::thread::hardware_concurrency();
     return hc > 1 ? hc - 1 : 0;
   }

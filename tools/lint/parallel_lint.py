@@ -1,0 +1,699 @@
+#!/usr/bin/env python3
+"""parallel_lint: concurrency-discipline checker for the pcc runtime.
+
+A libclang-free, token-level linter that enforces the repo's shared-memory
+rules inside parallel regions (the lambda bodies passed to
+``pcc::parallel::parallel_for`` / ``par_do`` / ``parallel_do``):
+
+  raw-captured-write
+      A plain assignment (``=``, ``+=``, ``++`` ...) whose target reaches
+      memory captured from outside the lambda — through a captured
+      pointer/span/vector subscript, a dereference, or a captured scalar —
+      is flagged unless one of:
+        * the statement goes through an ``atomics.hpp`` helper
+          (``cas``/``write_min``/``write_max``/``write_once``/``read_once``/
+          ``atomic_load``/``atomic_store``/``fetch_add``), e.g. the
+          canonical atomic-index scatter ``next[fetch_add(&k, 1)] = w;``;
+        * the write is owner-indexed: ``arr[i] = ...`` where ``i`` is
+          exactly the innermost lambda's loop parameter (distinct
+          invocations get distinct ``i``, so the writes are disjoint);
+        * the line (or the comment line directly above) carries
+          ``// lint: private-write(<reason>)`` stating the disjointness
+          invariant.
+
+  std-function-in-parallel
+      ``std::function`` inside a parallel region (type-erased callables
+      heap-allocate and synchronize; use templates / function pointers).
+
+  rand-in-parallel
+      ``rand()`` / ``srand()`` inside a parallel region (global hidden
+      state; use ``parallel/random.hpp``'s counter-based rng).
+
+  static-in-parallel
+      A ``static`` local inside a parallel region unless it is
+      ``static constexpr`` or ``static thread_local`` (magic-static init
+      serializes and mutable static state is shared by definition).
+
+Any rule can be waived for one line with
+``// lint: allow(<rule>: <reason>)``.
+
+Known limitations (token-level, by design): writes through a *local*
+pointer that aliases captured memory are not tracked, and helper lambdas
+that are only *called* (not defined) inside a parallel region are not
+scanned. The TSan CI job is the backstop for what the tokens cannot see.
+
+Usage:
+    parallel_lint.py [--compile-commands build/compile_commands.json]
+                     [paths...]
+
+With ``--compile-commands`` the translation units listed there (filtered
+to the given paths) are linted, plus every header found under the given
+paths; with bare paths, all ``*.cpp/*.hpp/*.h`` files under them.
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+PARALLEL_CALLS = {"parallel_for", "par_do", "parallel_do"}
+
+ATOMIC_HELPERS = {
+    "cas",
+    "write_min",
+    "write_max",
+    "write_once",
+    "read_once",
+    "atomic_load",
+    "atomic_store",
+    "fetch_add",
+    "fetch_sub",
+    "compare_exchange_strong",
+    "compare_exchange_weak",
+    "exchange",
+    "test_and_set",
+    "clear",
+    "store",
+    "load",
+    "notify_all",
+    "notify_one",
+}
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="}
+INCDEC_OPS = {"++", "--"}
+
+TYPE_KEYWORDS = {
+    "auto", "bool", "char", "short", "int", "long", "unsigned", "signed",
+    "float", "double", "void", "size_t", "uint8_t", "uint16_t", "uint32_t",
+    "uint64_t", "int8_t", "int16_t", "int32_t", "int64_t", "ptrdiff_t",
+}
+
+MARKER_PRIVATE = re.compile(r"lint:\s*private-write\s*\(([^)]*)\)")
+MARKER_ALLOW = re.compile(r"lint:\s*allow\s*\(\s*([a-z-]+)\s*:?([^)]*)\)")
+
+
+@dataclass
+class Token:
+    kind: str  # 'id', 'num', 'str', 'punct'
+    text: str
+    line: int
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class LineMarkers:
+    """lint: markers harvested from comments, keyed by source line."""
+
+    private_write: dict[int, str] = field(default_factory=dict)
+    allow: dict[int, set[str]] = field(default_factory=dict)
+
+    def waives(self, rule: str, line: int) -> bool:
+        # A marker applies to its own line and to the line directly below
+        # it (comment-above-the-statement style).
+        for ln in (line, line - 1):
+            if rule == "raw-captured-write" and ln in self.private_write:
+                return True
+            if rule in self.allow.get(ln, ()):  # explicit allow
+                return True
+        return False
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<punct><<=|>>=|->\*|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\|
+                |[+\-*/%&|^!=<>]=|[{}()\[\];,.<>?:~!%^&*+=/|\\-])
+    """,
+    re.VERBOSE,
+)
+
+
+def strip_and_tokenize(text: str) -> tuple[list[Token], LineMarkers]:
+    """Remove comments/literals, collect lint markers, emit tokens."""
+    tokens: list[Token] = []
+    markers = LineMarkers()
+    i, n, line = 0, len(text), 1
+
+    def harvest(comment: str, ln: int) -> None:
+        m = MARKER_PRIVATE.search(comment)
+        if m:
+            markers.private_write[ln] = m.group(1).strip()
+        m = MARKER_ALLOW.search(comment)
+        if m:
+            markers.allow.setdefault(ln, set()).add(m.group(1).strip())
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+        elif c in " \t\r\f\v":
+            i += 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            harvest(text[i:j], line)
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            start_line = line
+            harvest(text[i : j + 2], start_line)
+            line += text.count("\n", i, j + 2)
+            i = j + 2
+        elif c == '"':
+            if text.startswith('R"', i - 1) and i >= 1:  # raw string R"delim(
+                m = re.match(r'R"([^(]*)\(', text[i - 1 :])
+                if m and tokens and tokens[-1].text == "R":
+                    tokens.pop()  # merge the 'R' id into the literal
+                    end = text.find(f"){m.group(1)}\"", i)
+                    end = n - 1 if end < 0 else end + len(m.group(1)) + 1
+                    line += text.count("\n", i, end + 1)
+                    tokens.append(Token("str", '""', line))
+                    i = end + 1
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            line += text.count("\n", i, j + 1)
+            tokens.append(Token("str", '""', line))
+            i = j + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            tokens.append(Token("str", "''", line))
+            i = j + 1
+        else:
+            m = _TOKEN_RE.match(text, i)
+            if m is None:
+                i += 1
+                continue
+            kind = m.lastgroup or "punct"
+            tokens.append(Token(kind, m.group(), line))
+            i = m.end()
+    return tokens, markers
+
+
+def match_forward(tokens: list[Token], i: int, open_t: str, close_t: str) -> int:
+    """Index of the token closing the bracket opened at i (or len)."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
+
+
+def is_lambda_intro(tokens: list[Token], i: int) -> bool:
+    """True if tokens[i] == '[' starts a lambda (vs a subscript)."""
+    if tokens[i].text != "[":
+        return False
+    if i == 0:
+        return True
+    prev = tokens[i - 1]
+    # A subscript follows a primary expression; a lambda follows an
+    # operator, separator, or opening bracket.
+    if prev.kind in ("id", "num", "str") or prev.text in ("]", ")"):
+        return False
+    return True
+
+
+@dataclass
+class Lambda:
+    params: set[str]
+    body_start: int  # index of '{'
+    body_end: int  # index of matching '}'
+
+
+def parse_lambda(tokens: list[Token], i: int) -> Lambda | None:
+    """Parse a lambda starting at tokens[i] == '['; None if not a lambda."""
+    cap_end = match_forward(tokens, i, "[", "]")
+    if cap_end >= len(tokens):
+        return None
+    j = cap_end + 1
+    params: set[str] = set()
+    if j < len(tokens) and tokens[j].text == "(":
+        par_end = match_forward(tokens, j, "(", ")")
+        # Parameter names: the last identifier of each comma-separated
+        # declarator (at paren depth 1, ignoring template commas).
+        depth, angle = 0, 0
+        last_id: str | None = None
+        for k in range(j, par_end + 1):
+            t = tokens[k]
+            if t.text in "([{":
+                depth += 1
+            elif t.text in ")]}":
+                depth -= 1
+                if depth == 0:
+                    if last_id:
+                        params.add(last_id)
+                    break
+            elif depth == 1:
+                if t.text == "<":
+                    angle += 1
+                elif t.text == ">":
+                    angle = max(0, angle - 1)
+                elif angle == 0 and t.text == ",":
+                    if last_id:
+                        params.add(last_id)
+                    last_id = None
+                elif angle == 0 and t.kind == "id" and t.text not in TYPE_KEYWORDS \
+                        and t.text != "const":
+                    last_id = t.text
+        j = par_end + 1
+    # Skip specifiers / trailing return type up to the body brace.
+    while j < len(tokens) and tokens[j].text != "{":
+        if tokens[j].text in (";", ")", "]"):
+            return None  # e.g. `[0]` style false positive: no body
+        j += 1
+    if j >= len(tokens):
+        return None
+    body_end = match_forward(tokens, j, "{", "}")
+    return Lambda(params, j, body_end)
+
+
+def find_parallel_lambdas(tokens: list[Token]) -> list[Lambda]:
+    """All lambdas that appear in the argument list of a parallel call."""
+    out: list[Lambda] = []
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id" or tok.text not in PARALLEL_CALLS:
+            continue
+        if i + 1 >= len(tokens) or tokens[i + 1].text != "(":
+            continue
+        call_end = match_forward(tokens, i + 1, "(", ")")
+        j = i + 2
+        while j < call_end:
+            if is_lambda_intro(tokens, j):
+                lam = parse_lambda(tokens, j)
+                if lam is not None and lam.body_end <= call_end:
+                    out.append(lam)
+                    j = lam.body_end + 1
+                    continue
+            j += 1
+    return out
+
+
+def collect_locals(tokens: list[Token], body_start: int, body_end: int,
+                   inner_spans: list[tuple[int, int]]) -> set[str]:
+    """Names declared inside the body (heuristic, left-to-right).
+
+    A declaration is recognized at statement-ish positions as
+    `type-tokens NAME (=|;|:|{|()`, where the token before NAME is a
+    type-ish token (identifier, closing `>`, `&`, `*`, or a fundamental
+    type keyword). Also handles structured bindings `auto [a, b] = ...`
+    and range-for `for (T x : ...)`.
+    """
+    names: set[str] = set()
+    i = body_start + 1
+    while i < body_end:
+        for lo, hi in inner_spans:
+            if lo <= i <= hi:
+                i = hi + 1
+                break
+        if i >= body_end:
+            break
+        t = tokens[i]
+        # Structured binding: auto [a, b] = ...
+        if t.text == "auto" and i + 1 < body_end and tokens[i + 1].text == "[":
+            close = match_forward(tokens, i + 1, "[", "]")
+            for k in range(i + 2, close):
+                if tokens[k].kind == "id":
+                    names.add(tokens[k].text)
+            i = close + 1
+            continue
+        if t.kind == "id" and i + 1 < body_end:
+            nxt = tokens[i + 1]
+            prev = tokens[i - 1]
+            # `T* p` / `T& r`: the ref/pointer punctuation must itself
+            # follow a type token, or this is a dereference/address-of
+            # expression (e.g. `*shared = 7;`), not a declaration.
+            ptr_decl = prev.text in (">", "&", "*") and i >= 2 and (
+                tokens[i - 2].kind == "id" or tokens[i - 2].text == ">"
+            )
+            if (
+                nxt.text in ("=", ";", ":", "{", "(", ",")
+                and (
+                    (prev.kind == "id" and prev.text not in ("return", "co_return"))
+                    or ptr_decl
+                )
+                and t.text not in TYPE_KEYWORDS
+                and t.text != "const"
+            ):
+                # `prev` must itself look like part of a declaration's type,
+                # not an expression: reject `a b` where a is followed by an
+                # operator... (kept simple: the id-id adjacency is already
+                # rare outside declarations in this codebase).
+                names.add(t.text)
+        i += 1
+    return names
+
+
+def lvalue_info(tokens: list[Token], op_idx: int, stmt_start: int):
+    """Analyze the lvalue ending just before tokens[op_idx].
+
+    Returns (base_identifier | None, is_subscript, subscript_index_tokens,
+    is_indirect) where is_indirect covers `*p = ...` and `p->x = ...`.
+    """
+    j = op_idx - 1
+    is_subscript = False
+    index_tokens: list[str] = []
+    is_indirect = False
+    base: str | None = None
+    # Walk the postfix expression backwards.
+    while j >= stmt_start:
+        t = tokens[j]
+        if t.text == "]":
+            lo = j
+            depth = 0
+            while lo >= stmt_start:
+                if tokens[lo].text == "]":
+                    depth += 1
+                elif tokens[lo].text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                lo -= 1
+            if not is_subscript:  # record only the outermost subscript
+                is_subscript = True
+                index_tokens = [tokens[k].text for k in range(lo + 1, j)]
+            j = lo - 1
+        elif t.text == ")":
+            lo = j
+            depth = 0
+            while lo >= stmt_start:
+                if tokens[lo].text == ")":
+                    depth += 1
+                elif tokens[lo].text == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                lo -= 1
+            before = tokens[lo - 1] if lo - 1 >= stmt_start else None
+            if before is not None and (
+                before.kind == "id" or before.text in (")", "]")
+            ) and (before.kind != "id" or before.text not in (
+                    "if", "while", "for", "switch", "return")):
+                j = lo - 1  # call postfix `f(...)`: keep walking to the base
+            else:
+                # Parenthesized primary, e.g. `(*old_ids)[i] = ...`: the
+                # base lives inside the group.
+                for k in range(lo + 1, j):
+                    if tokens[k].text == "*":
+                        is_indirect = True
+                    elif tokens[k].kind == "id" and base is None:
+                        base = tokens[k].text
+                break
+        elif t.kind == "id":
+            base = t.text
+            if j - 1 >= stmt_start and tokens[j - 1].text in (".", "->", "::"):
+                if tokens[j - 1].text == "->":
+                    is_indirect = True
+                j -= 2  # keep walking to the base object
+            else:
+                # Prefix dereference `*base = ...`: the star right before
+                # the base id, unless it reads as multiplication (which
+                # cannot produce an lvalue anyway).
+                if j - 1 >= stmt_start and tokens[j - 1].text == "*":
+                    prev2 = tokens[j - 2] if j - 2 >= stmt_start else None
+                    if prev2 is None or not (
+                        prev2.kind in ("id", "num") or prev2.text in (")", "]")
+                    ):
+                        is_indirect = True
+                break
+        elif t.text == "*":
+            # Prefix dereference (only meaningful at the statement start).
+            is_indirect = True
+            break
+        else:
+            break
+    return base, is_subscript, index_tokens, is_indirect
+
+
+def statement_start(tokens: list[Token], op_idx: int, body_start: int) -> int:
+    depth = 0
+    j = op_idx - 1
+    while j > body_start:
+        t = tokens[j].text
+        if t in (")", "]"):
+            depth += 1
+        elif t in ("(", "["):
+            if depth == 0:
+                return j + 1
+            depth -= 1
+        elif depth == 0 and t in (";", "{", "}", ","):
+            return j + 1
+        j -= 1
+    return body_start + 1
+
+
+def statement_end(tokens: list[Token], op_idx: int, body_end: int) -> int:
+    depth = 0
+    j = op_idx
+    while j < body_end:
+        t = tokens[j].text
+        if t in ("(", "["):
+            depth += 1
+        elif t in (")", "]"):
+            if depth == 0:
+                return j
+            depth -= 1
+        elif depth == 0 and t in (";", "{", "}"):
+            return j
+        j += 1
+    return body_end
+
+
+def check_lambda(path: str, tokens: list[Token], lam: Lambda,
+                 markers: LineMarkers, inner_spans: list[tuple[int, int]],
+                 findings: list[Finding]) -> None:
+    locals_ = collect_locals(tokens, lam.body_start, lam.body_end, inner_spans)
+    locals_ |= lam.params
+
+    def in_inner(idx: int) -> bool:
+        return any(lo <= idx <= hi for lo, hi in inner_spans)
+
+    def stmt_has_atomic_helper(lo: int, hi: int) -> bool:
+        return any(
+            tokens[k].kind == "id" and tokens[k].text in ATOMIC_HELPERS
+            for k in range(lo, hi)
+        )
+
+    i = lam.body_start + 1
+    while i < lam.body_end:
+        if in_inner(i):
+            i += 1
+            continue
+        tok = tokens[i]
+
+        # --- std::function -------------------------------------------------
+        if (
+            tok.text == "function"
+            and i >= 2
+            and tokens[i - 1].text == "::"
+            and tokens[i - 2].text == "std"
+        ):
+            if not markers.waives("std-function-in-parallel", tok.line):
+                findings.append(Finding(
+                    path, tok.line, "std-function-in-parallel",
+                    "std::function inside a parallel region (type-erased "
+                    "callables allocate and synchronize; use a template "
+                    "parameter or function pointer)",
+                ))
+            i += 1
+            continue
+
+        # --- rand() / srand() ---------------------------------------------
+        if (
+            tok.kind == "id"
+            and tok.text in ("rand", "srand")
+            and i + 1 < lam.body_end
+            and tokens[i + 1].text == "("
+            and (i == 0 or tokens[i - 1].text not in (".", "->"))
+        ):
+            if not markers.waives("rand-in-parallel", tok.line):
+                findings.append(Finding(
+                    path, tok.line, "rand-in-parallel",
+                    f"{tok.text}() inside a parallel region (hidden global "
+                    "state; use parallel/random.hpp's counter-based rng)",
+                ))
+            i += 1
+            continue
+
+        # --- static locals -------------------------------------------------
+        if tok.text == "static":
+            nxt = tokens[i + 1].text if i + 1 < lam.body_end else ""
+            if nxt not in ("constexpr", "thread_local"):
+                if not markers.waives("static-in-parallel", tok.line):
+                    findings.append(Finding(
+                        path, tok.line, "static-in-parallel",
+                        "unguarded static local inside a parallel region "
+                        "(shared mutable state; magic-static init "
+                        "serializes). Use static constexpr, thread_local, "
+                        "or hoist it out",
+                    ))
+            i += 1
+            continue
+
+        # --- raw captured writes -------------------------------------------
+        if tok.text in ASSIGN_OPS or tok.text in INCDEC_OPS:
+            op_idx = i
+            if tok.text in INCDEC_OPS:
+                # Normalize to the operand: prefix `++x[...]` or postfix
+                # `x[...]++`. For prefix, analyze the expression that
+                # follows by finding its end.
+                if (
+                    op_idx + 1 < lam.body_end
+                    and (tokens[op_idx + 1].kind == "id"
+                         or tokens[op_idx + 1].text == "*")
+                ):
+                    # prefix: pretend the operator sits after the operand
+                    end = statement_end(tokens, op_idx + 1, lam.body_end)
+                    op_idx = end
+                # postfix: lvalue already sits to the left of tokens[i]
+            stmt_lo = statement_start(tokens, op_idx, lam.body_start)
+            stmt_hi = statement_end(tokens, op_idx, lam.body_end)
+            base, is_sub, idx_toks, indirect = lvalue_info(
+                tokens, op_idx, stmt_lo)
+            line = tokens[min(op_idx, lam.body_end - 1)].line
+            i += 1
+            if base is None and not indirect:
+                continue
+            if base in TYPE_KEYWORDS or base in ("const", "constexpr"):
+                continue  # declaration lvalue (e.g. structured binding)
+            # Declarations with initializers: `T x = ...` — the decl
+            # scanner already recorded x; a decl is also recognizable by a
+            # type-ish token right before the base identifier.
+            if base is not None and base in locals_ and not indirect:
+                continue
+            if indirect and base is not None and base in locals_:
+                # `*p = ...` / `p->x = ...` through a local pointer: out of
+                # scope for a token-level check (documented limitation).
+                continue
+            if is_sub and len(idx_toks) == 1 and idx_toks[0] in lam.params:
+                continue  # owner-indexed write: disjoint by construction
+            if stmt_has_atomic_helper(stmt_lo, stmt_hi):
+                continue  # atomic-index scatter or helper-mediated write
+            if markers.waives("raw-captured-write", line):
+                continue
+            what = f"`{base}`" if base is not None else "a dereference"
+            findings.append(Finding(
+                path, line, "raw-captured-write",
+                f"raw write through captured {what} inside a parallel "
+                "region. Route it through an atomics.hpp helper, index it "
+                "by the lambda parameter, or annotate the disjointness "
+                "invariant with `// lint: private-write(<reason>)`",
+            ))
+            continue
+
+        i += 1
+    return
+
+
+def lint_file(path: str) -> list[Finding]:
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(path, 0, "io-error", str(e))]
+    tokens, markers = strip_and_tokenize(text)
+    lambdas = find_parallel_lambdas(tokens)
+    findings: list[Finding] = []
+    for lam in lambdas:
+        # Nested parallel lambdas are checked on their own; mask their
+        # token span out of the enclosing body scan. Non-parallel inner
+        # lambdas (helpers defined in the body) are scanned as part of the
+        # enclosing body with the *inner* lambda's params added? No —
+        # simplest sound-ish choice: mask all inner lambda bodies; a
+        # helper lambda defined AND invoked inside a parallel body is rare
+        # and the TSan job covers it.
+        inner = [
+            (o.body_start, o.body_end)
+            for o in lambdas
+            if o is not lam
+            and o.body_start > lam.body_start
+            and o.body_end < lam.body_end
+        ]
+        check_lambda(path, tokens, lam, markers, inner, findings)
+    return findings
+
+
+def gather_files(args: argparse.Namespace) -> list[str]:
+    exts = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh")
+    roots = [os.path.abspath(p) for p in args.paths] or [os.getcwd()]
+    files: set[str] = set()
+    if args.compile_commands:
+        try:
+            with open(args.compile_commands, "r", encoding="utf-8") as f:
+                db = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"parallel_lint: cannot read {args.compile_commands}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        for entry in db:
+            src = os.path.abspath(
+                os.path.join(entry.get("directory", "."), entry["file"]))
+            if any(os.path.commonpath([src, r]) == r for r in roots
+                   if os.path.isdir(r)):
+                files.add(src)
+    for r in roots:
+        if os.path.isfile(r):
+            files.add(r)
+            continue
+        for dirpath, _, names in os.walk(r):
+            for name in names:
+                if name.endswith(exts):
+                    files.add(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: cwd)")
+    ap.add_argument("--compile-commands", metavar="PATH",
+                    help="compile_commands.json to take the TU list from "
+                         "(headers under the given paths are added)")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress the per-file progress summary")
+    args = ap.parse_args(argv)
+
+    files = gather_files(args)
+    if not files:
+        print("parallel_lint: no input files", file=sys.stderr)
+        return 2
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    for f in findings:
+        print(f.render())
+    if not args.quiet:
+        print(
+            f"parallel_lint: {len(files)} files, {len(findings)} finding(s)",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+// Fixture: the three banned constructs inside parallel regions.
+#include <cstddef>
+#include <cstdlib>
+#include <functional>
+
+namespace pcc::parallel {
+template <typename F>
+void parallel_for(size_t, size_t, F&&, size_t = 0);
+template <typename L, typename R>
+void par_do(L&&, R&&);
+}  // namespace pcc::parallel
+
+void banned(std::size_t n) {
+  pcc::parallel::parallel_for(0, n, [&](size_t i) {
+    std::function<int(int)> f = [](int x) { return x; };  // BAD
+    int r = rand();                                       // BAD
+    static int counter = 0;                               // BAD
+    counter += r + f(static_cast<int>(i));
+  });
+
+  pcc::parallel::par_do(
+      [&] {
+        srand(42);  // BAD: srand in a parallel thunk
+      },
+      [&] {
+        static constexpr int kFine = 3;   // OK: constexpr static
+        static thread_local int tl = 0;   // OK: thread-local
+        tl += kFine;
+      });
+}

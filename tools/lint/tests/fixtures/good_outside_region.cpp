@@ -1,0 +1,34 @@
+// Fixture: the banned constructs are fine OUTSIDE parallel regions, and
+// sequential code with arbitrary assignments must not be flagged.
+#include <cstddef>
+#include <cstdlib>
+#include <functional>
+#include <span>
+
+namespace pcc::parallel {
+template <typename F>
+void parallel_for(size_t, size_t, F&&, size_t = 0);
+}
+
+int sequential_world(std::span<unsigned> v) {
+  std::function<int()> f = [] { return rand(); };  // fine: not parallel
+  static int call_count = 0;                       // fine: not parallel
+  ++call_count;
+  for (size_t i = 0; i < v.size(); ++i) v[i] = 0;  // fine: sequential loop
+  unsigned* p = v.data();
+  *p = 1;  // fine: sequential write
+  // A lambda that is not a parallel-region argument is not scanned:
+  const auto helper = [&](size_t i) { v[i / 2] = 9; };
+  helper(0);
+  return f() + call_count;
+}
+
+void nested_inner_checked_once(std::span<unsigned> a) {
+  // The inner parallel_for's body is attributed to the inner region only;
+  // the outer scan must not double-report it.
+  pcc::parallel::parallel_for(0, 4, [&](size_t b) {
+    pcc::parallel::parallel_for(0, 4, [&](size_t i) {
+      a[i] = static_cast<unsigned>(b);  // owner-indexed by inner param
+    });
+  });
+}

@@ -1,0 +1,192 @@
+"""Unit tests for parallel_lint.py, driven by the fixture snippets.
+
+Run directly (python3 -m unittest discover -s tools/lint/tests) or via the
+`lint_selftest` CTest target.
+"""
+
+import os
+import sys
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+LINT_DIR = os.path.dirname(TESTS_DIR)
+FIXTURES = os.path.join(TESTS_DIR, "fixtures")
+
+sys.path.insert(0, LINT_DIR)
+
+import parallel_lint  # noqa: E402
+
+
+def lint(name):
+    return parallel_lint.lint_file(os.path.join(FIXTURES, name))
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class RawStoreTests(unittest.TestCase):
+    def test_catches_raw_racing_stores(self):
+        findings = lint("bad_raw_store.cpp")
+        raw = [f for f in findings if f.rule == "raw-captured-write"]
+        # D[v], D[frontier[fi] + 1], next_size +=, *shared.
+        self.assertEqual(len(raw), 4, msg="\n".join(f.render() for f in findings))
+        self.assertEqual(rules(findings), ["raw-captured-write"] * 4)
+
+    def test_reports_file_and_line(self):
+        findings = lint("bad_raw_store.cpp")
+        self.assertTrue(all(f.line > 0 for f in findings))
+        self.assertTrue(all(f.path.endswith("bad_raw_store.cpp")
+                            for f in findings))
+        # The first raw store in the fixture is the `D[v] = 0;` line.
+        with open(os.path.join(FIXTURES, "bad_raw_store.cpp")) as f:
+            lines = f.read().splitlines()
+        self.assertIn("D[v] = 0;", lines[findings[0].line - 1])
+
+    def test_clean_disciplined_code(self):
+        findings = lint("good_atomics.cpp")
+        self.assertEqual(findings, [],
+                         msg="\n".join(f.render() for f in findings))
+
+
+class BannedConstructTests(unittest.TestCase):
+    def test_catches_std_function_rand_and_static(self):
+        findings = lint("bad_banned_constructs.cpp")
+        got = rules(findings)
+        self.assertIn("std-function-in-parallel", got)
+        self.assertIn("rand-in-parallel", got)
+        self.assertIn("static-in-parallel", got)
+        # srand in the par_do thunk is also caught.
+        self.assertEqual(got.count("rand-in-parallel"), 2)
+        # static constexpr / static thread_local are allowed.
+        self.assertEqual(got.count("static-in-parallel"), 1)
+
+    def test_constructs_allowed_outside_regions(self):
+        findings = lint("good_outside_region.cpp")
+        self.assertEqual(findings, [],
+                         msg="\n".join(f.render() for f in findings))
+
+
+class MarkerTests(unittest.TestCase):
+    def _lint_source(self, source):
+        import tempfile
+
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".cpp", delete=False) as tmp:
+            tmp.write(source)
+            path = tmp.name
+        try:
+            return parallel_lint.lint_file(path)
+        finally:
+            os.unlink(path)
+
+    PRELUDE = (
+        "namespace pcc::parallel { template <typename F>"
+        " void parallel_for(unsigned long, unsigned long, F&&); }\n"
+        "using pcc::parallel::parallel_for;\n"
+    )
+
+    def test_private_write_marker_waives_same_line(self):
+        findings = self._lint_source(self.PRELUDE + """
+void f(unsigned* a) {
+  parallel_for(0, 4, [&](unsigned long i) {
+    a[i + 1] = 0;  // lint: private-write(stride-2 slices are disjoint)
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_private_write_marker_waives_line_above(self):
+        findings = self._lint_source(self.PRELUDE + """
+void f(unsigned* a) {
+  parallel_for(0, 4, [&](unsigned long i) {
+    // lint: private-write(stride-2 slices are disjoint)
+    a[i * 2] = 0;
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_marker_reason_is_required_syntax(self):
+        # A bare `lint: private-write` without parentheses does not waive.
+        findings = self._lint_source(self.PRELUDE + """
+void f(unsigned* a) {
+  parallel_for(0, 4, [&](unsigned long i) {
+    a[i + 1] = 0;  // lint: private-write
+  });
+}
+""")
+        self.assertEqual(rules(findings), ["raw-captured-write"])
+
+    def test_allow_marker_waives_named_rule(self):
+        findings = self._lint_source(self.PRELUDE + """
+void f() {
+  parallel_for(0, 4, [&](unsigned long) {
+    static int x = 0;  // lint: allow(static-in-parallel: init-once cache)
+    (void)x;
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+
+class IdiomTests(unittest.TestCase):
+    """Patterns from the real runtime that must stay clean."""
+
+    def _lint_source(self, source):
+        return MarkerTests._lint_source(self, source)
+
+    PRELUDE = MarkerTests.PRELUDE + (
+        "namespace pcc::parallel { template <typename T>"
+        " T fetch_add(T*, T); template <typename T>"
+        " bool cas(T*, T, T); }\n"
+    )
+
+    def test_atomic_index_scatter_is_clean(self):
+        findings = self._lint_source(self.PRELUDE + """
+void f(unsigned* next, unsigned long* next_size) {
+  parallel_for(0, 4, [&](unsigned long i) {
+    next[pcc::parallel::fetch_add<unsigned long>(next_size, 1ul)] =
+        static_cast<unsigned>(i);
+  });
+}
+""")
+        self.assertEqual(findings, [],
+                         msg="\n".join(f.render() for f in findings))
+
+    def test_compound_assign_on_captured_is_flagged(self):
+        findings = self._lint_source(self.PRELUDE + """
+void f(unsigned long* total) {
+  parallel_for(0, 4, [&](unsigned long i) {
+    *total += i;
+  });
+}
+""")
+        self.assertEqual(rules(findings), ["raw-captured-write"])
+
+    def test_increment_of_captured_subscript_is_flagged(self):
+        findings = self._lint_source(self.PRELUDE + """
+void f(unsigned long* counts) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    ++counts[i % 8];
+  });
+}
+""")
+        self.assertEqual(rules(findings), ["raw-captured-write"])
+
+    def test_locals_and_owner_index_are_clean(self):
+        findings = self._lint_source(self.PRELUDE + """
+void f(unsigned* out, const unsigned* in) {
+  parallel_for(0, 64, [&](unsigned long b) {
+    unsigned acc = 0;
+    for (unsigned long k = 0; k < 4; ++k) acc += in[k];
+    out[b] = acc;
+  });
+}
+""")
+        self.assertEqual(findings, [],
+                         msg="\n".join(f.render() for f in findings))
+
+
+if __name__ == "__main__":
+    unittest.main()
