@@ -8,7 +8,7 @@
 
 namespace pcc::cc {
 
-component_index::component_index(const std::vector<vertex_id>& labels) {
+component_index::component_index(std::span<const vertex_id> labels) {
   const size_t n = labels.size();
   comp_of_.resize(n);
   vertices_.resize(n);

@@ -17,8 +17,13 @@ namespace pcc::cc {
 class component_index {
  public:
   // labels[v] must be a vertex id (the representative invariant of
-  // pcc::cc::connected_components / the baselines in this library).
-  explicit component_index(const std::vector<vertex_id>& labels);
+  // pcc::cc::connected_components / the baselines in this library). The
+  // span overload indexes a labeling in place — cc_engine::run() hands out
+  // a span over engine-owned memory, and building the query index from it
+  // must not force a copy. The labels are only read during construction.
+  explicit component_index(std::span<const vertex_id> labels);
+  explicit component_index(const std::vector<vertex_id>& labels)
+      : component_index(std::span<const vertex_id>(labels)) {}
 
   // Number of components.
   size_t num_components() const { return starts_.size() - 1; }

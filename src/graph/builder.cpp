@@ -60,7 +60,12 @@ graph from_edges(size_t n, edge_list edges, const build_options& opt) {
   });
   edges.clear();
   edges.shrink_to_fit();
+  return from_packed_edges(n, std::move(packed), opt);
+}
 
+graph from_packed_edges(size_t n, std::vector<uint64_t> packed,
+                        const build_options& opt) {
+  assert(n <= kMaxVertices);
   if (opt.remove_self_loops) {
     packed = parallel::filter(
         packed, [](uint64_t p) { return edge_src(p) != edge_tgt(p); });

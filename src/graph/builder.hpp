@@ -24,6 +24,14 @@ struct build_options {
 // (asserted in debug builds).
 graph from_edges(size_t n, edge_list edges, const build_options& opt = {});
 
+// Same pipeline starting from already-packed directed edges
+// ((u << 32) | v), skipping from_edges' packing pass. The caller is
+// responsible for having materialized both directions if it wants a
+// symmetric graph (opt.symmetrize is ignored); the parallel SNAP loader
+// uses this to avoid one full copy of the edge array.
+graph from_packed_edges(size_t n, std::vector<uint64_t> packed,
+                        const build_options& opt = {});
+
 // Build directly from sorted CSR pieces without checks (internal use by
 // contraction, which guarantees its invariants).
 graph from_sorted_pairs(size_t n, const std::vector<uint64_t>& packed_pairs);

@@ -24,12 +24,15 @@ class hash_map64 {
  public:
   static constexpr uint64_t kEmptyKey = ~uint64_t{0};
 
-  explicit hash_map64(size_t max_elements) {
+  // `initial_value` seeds every value slot; insert() overwrites it after
+  // claiming a key, but insert_min() folds into it, so min-reductions pass
+  // the identity (e.g. ~0) here.
+  explicit hash_map64(size_t max_elements, uint64_t initial_value = 0) {
     size_t cap = 16;
     while (cap < 2 * max_elements + 1) cap <<= 1;
     mask_ = cap - 1;
     keys_.assign(cap, kEmptyKey);
-    values_.resize(cap);
+    values_.assign(cap, initial_value);
   }
 
   // Insert (key, value); if the key is already present the stored value is
@@ -49,6 +52,36 @@ class hash_map64 {
         }
         continue;  // lost the claim: re-inspect this slot (winner may hold
                    // our key, or a different one and we probe onward)
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Insert (key, value) keeping the MINIMUM value ever offered for the
+  // key — an atomic write_min on the slot, so unlike insert() the stored
+  // value is deterministic regardless of arrival order. Requires the map
+  // to have been constructed with an `initial_value` no smaller than any
+  // offered value. Safe concurrently with itself and with insert();
+  // returns true iff this call claimed a fresh slot. The graph loaders
+  // use this to compute each raw vertex id's first occurrence position
+  // for order-stable id compaction.
+  bool insert_min(uint64_t key, uint64_t value) {
+    size_t i = static_cast<size_t>(hash64(key)) & mask_;
+    while (true) {
+      const uint64_t cur = atomic_load(&keys_[i]);
+      if (cur == key) {
+        write_min(&values_[i], value);
+        return false;
+      }
+      if (cur == kEmptyKey) {
+        // Publish the key first; the pre-seeded value slot makes the
+        // claim/fold order race-free (a concurrent same-key writer folds
+        // into initial_value, never into garbage).
+        if (cas(&keys_[i], kEmptyKey, key)) {
+          write_min(&values_[i], value);
+          return true;
+        }
+        continue;  // lost the claim: re-inspect this slot
       }
       i = (i + 1) & mask_;
     }

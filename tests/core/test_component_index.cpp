@@ -73,6 +73,24 @@ TEST(ComponentIndex, ConsistentWithLabelsOnCorpus) {
   }
 }
 
+TEST(ComponentIndex, SpanConstructorMatchesVectorConstructor) {
+  // cc_engine::run() returns a span over engine-owned labels; building the
+  // index from it must agree with the vector overload (and not copy).
+  const graph::graph g = graph::random_graph(700, 3, 17);
+  cc::cc_engine engine(cc::cc_options{});
+  const std::span<const vertex_id> span_labels = engine.run(g);
+  const std::vector<vertex_id> vec_labels(span_labels.begin(),
+                                          span_labels.end());
+  const component_index from_span(span_labels);
+  const component_index from_vec(vec_labels);
+  ASSERT_EQ(from_span.num_components(), from_vec.num_components());
+  EXPECT_EQ(from_span.sizes(), from_vec.sizes());
+  for (size_t v = 0; v < g.num_vertices(); v += 13) {
+    ASSERT_EQ(from_span.component_of(static_cast<vertex_id>(v)),
+              from_vec.component_of(static_cast<vertex_id>(v)));
+  }
+}
+
 TEST(ComponentIndex, LargestMatchesSizes) {
   const graph::graph g = graph::social_network_like(1200, 3);
   const auto labels = cc::connected_components(g);

@@ -141,6 +141,255 @@ TEST_F(IoTest, SnapReaderHandlesCommentsAndWhitespace) {
 TEST_F(IoTest, SnapReaderRejectsGarbage) {
   std::ofstream(path("bad.txt")) << "1 two\n";
   EXPECT_THROW(read_snap_edge_list(path("bad.txt")), std::runtime_error);
+  io_options serial;
+  serial.parallel = false;
+  EXPECT_THROW(read_snap_edge_list(path("bad.txt"), serial),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// PR 3: parallel ingest, binary v2, load_graph and loader failure modes.
+// ---------------------------------------------------------------------------
+
+io_options serial_io() {
+  io_options o;
+  o.parallel = false;
+  return o;
+}
+
+std::string slurp(const std::string& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// The acceptance-critical invariant: the parallel readers produce a CSR
+// byte-identical to the reference serial readers, across generators,
+// formats and the mmap/read fallback.
+TEST_F(IoTest, SerialParallelEquivalenceRandomized) {
+  for (const uint64_t seed : {1, 2, 3}) {
+    const graph graphs[] = {
+        random_graph(200 + 57 * seed, 1 + seed % 4, seed),
+        rmat_graph(256 << seed, 900 * seed, seed),
+        cliques_with_bridges(3 + seed, 5),
+    };
+    for (const graph& g : graphs) {
+      save_graph(g, path("e.adj"));
+      save_graph(g, path("e.badj"));
+      write_edge_list(g, path("e.txt"));
+      for (const char* name : {"e.adj", "e.badj", "e.txt"}) {
+        const graph s = load_graph(path(name), file_format::kAuto, serial_io());
+        const graph p = load_graph(path(name));
+        EXPECT_EQ(s.offsets(), p.offsets()) << name << " seed " << seed;
+        EXPECT_EQ(s.edges(), p.edges()) << name << " seed " << seed;
+        io_options no_mmap;
+        no_mmap.use_mmap = false;
+        const graph q = load_graph(path(name), file_format::kAuto, no_mmap);
+        EXPECT_EQ(p.offsets(), q.offsets()) << name << " (read fallback)";
+        EXPECT_EQ(p.edges(), q.edges()) << name << " (read fallback)";
+      }
+    }
+  }
+}
+
+TEST_F(IoTest, SnapCompactionOrderMatchesSerial) {
+  // Sparse 64-bit raw ids: the parallel hash-map compaction must assign
+  // dense ids in first-appearance order, exactly like the serial
+  // unordered_map loop.
+  std::ofstream out(path("sparse.txt"));
+  out << "# big sparse ids\n"
+      << "1000000007 42\n"
+      << "42 7\n"
+      << "18446744073709551615 1000000007\n"
+      << "7 3\n";
+  out.close();
+  const graph s = read_snap_edge_list(path("sparse.txt"), serial_io());
+  const graph p = read_snap_edge_list(path("sparse.txt"));
+  EXPECT_EQ(s.offsets(), p.offsets());
+  EXPECT_EQ(s.edges(), p.edges());
+  EXPECT_EQ(p.num_vertices(), 5u);
+}
+
+TEST_F(IoTest, LoadGraphSniffsContentNotExtension) {
+  const graph g = cycle_graph(64);
+  // Deliberately misleading extensions: sniffing reads the leading bytes.
+  write_adjacency_graph(g, path("a.bin"));
+  write_binary_graph(g, path("b.txt"));
+  write_edge_list(g, path("c.adj"));
+  for (const char* name : {"a.bin", "b.txt"}) {
+    const graph h = load_graph(path(name));
+    EXPECT_EQ(h.offsets(), g.offsets()) << name;
+    EXPECT_EQ(h.edges(), g.edges()) << name;
+  }
+  const graph h = load_graph(path("c.adj"));  // sniffed as SNAP
+  EXPECT_EQ(h.num_undirected_edges(), g.num_undirected_edges());
+}
+
+TEST_F(IoTest, FormatFromName) {
+  EXPECT_EQ(format_from_name("auto"), file_format::kAuto);
+  EXPECT_EQ(format_from_name("adj"), file_format::kAdjacency);
+  EXPECT_EQ(format_from_name("badj"), file_format::kBinary);
+  EXPECT_EQ(format_from_name("snap"), file_format::kSnap);
+  EXPECT_THROW(format_from_name("bogus"), std::runtime_error);
+}
+
+TEST_F(IoTest, AdjacencyRejectsFirstOffsetNonzero) {
+  // offsets[0] = 1 silently orphans edges[0] — now rejected (both paths).
+  std::ofstream(path("off0.adj")) << "AdjacencyGraph\n2\n2\n1\n1\n0\n0\n";
+  EXPECT_THROW(read_adjacency_graph(path("off0.adj")), std::runtime_error);
+  EXPECT_THROW(read_adjacency_graph(path("off0.adj"), serial_io()),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsFirstOffsetNonzero) {
+  // Hand-built v1 file: n=1, m=0, offsets {1, 0}.
+  std::string bytes = "PCCG";
+  const uint64_t words[4] = {1, 0, 1, 0};  // n, m, offsets[0], offsets[1]
+  bytes.append(reinterpret_cast<const char*>(words), sizeof(words));
+  spit(path("off0.badj"), bytes);
+  EXPECT_THROW(read_binary_graph(path("off0.badj")), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyAndDegenerateFiles) {
+  spit(path("empty.adj"), "");
+  EXPECT_THROW(read_adjacency_graph(path("empty.adj")), std::runtime_error);
+  EXPECT_THROW(read_adjacency_graph(path("empty.adj"), serial_io()),
+               std::runtime_error);
+  EXPECT_THROW(read_binary_graph(path("empty.adj")), std::runtime_error);
+  // An empty SNAP file is a valid empty graph under both paths.
+  spit(path("empty.txt"), "");
+  EXPECT_EQ(read_snap_edge_list(path("empty.txt")).num_vertices(), 0u);
+  EXPECT_EQ(read_snap_edge_list(path("empty.txt"), serial_io()).num_vertices(),
+            0u);
+  // n == 0 AdjacencyGraph.
+  spit(path("zero.adj"), "AdjacencyGraph\n0\n0\n");
+  EXPECT_EQ(read_adjacency_graph(path("zero.adj")).num_vertices(), 0u);
+  EXPECT_EQ(read_adjacency_graph(path("zero.adj"), serial_io()).num_vertices(),
+            0u);
+}
+
+TEST_F(IoTest, GiantHeaderRejectedBeforeAllocation) {
+  // A header declaring 1e15 vertices in a tiny file must fail on the
+  // structural size check, not attempt a petabyte allocation.
+  spit(path("giant.adj"), "AdjacencyGraph\n1000000000000000\n3\n0\n1\n2\n");
+  EXPECT_THROW(read_adjacency_graph(path("giant.adj")), std::runtime_error);
+
+  std::string bytes = "PCC2";
+  const uint32_t flags = 0;
+  bytes.append(reinterpret_cast<const char*>(&flags), 4);
+  const uint64_t nm[2] = {uint64_t{1} << 40, uint64_t{1} << 50};
+  bytes.append(reinterpret_cast<const char*>(nm), sizeof(nm));
+  bytes.append(64, '\0');
+  spit(path("giant.badj"), bytes);
+  EXPECT_THROW(read_binary_graph(path("giant.badj")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryV2ChecksumDetectsCorruption) {
+  const graph g = cycle_graph(100);
+  write_binary_graph(g, path("c.badj"));
+  std::string bytes = slurp(path("c.badj"));
+  // Flip one edge target (header 24 bytes + 101 u64 offsets) to another
+  // in-range vertex: structurally still a valid file, so only the
+  // checksum can catch it.
+  const size_t edge0 = 24 + 101 * 8;
+  ASSERT_LT(edge0, bytes.size());
+  bytes[edge0] = static_cast<char>(bytes[edge0] ^ 0x02);
+  spit(path("c.badj"), bytes);
+  EXPECT_THROW(read_binary_graph(path("c.badj")), std::runtime_error);
+  // With verification disabled the (structurally valid) file loads, and
+  // differs from the original — demonstrating the checksum is what caught
+  // the corruption.
+  io_options no_verify;
+  no_verify.verify_checksum = false;
+  const graph h = read_binary_graph(path("c.badj"), no_verify);
+  EXPECT_NE(h.edges(), g.edges());
+}
+
+TEST_F(IoTest, BinaryV2RejectsTrailingGarbage) {
+  write_binary_graph(cycle_graph(32), path("t2.badj"));
+  std::string bytes = slurp(path("t2.badj"));
+  bytes += "extra";
+  spit(path("t2.badj"), bytes);
+  EXPECT_THROW(read_binary_graph(path("t2.badj")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryV1StillReadableAndLenient) {
+  const graph g = rmat_graph(512, 2000, 9);
+  io_options v1;
+  v1.binary_version = 1;
+  write_binary_graph(g, path("v1.badj"), v1);
+  const graph h = read_binary_graph(path("v1.badj"));
+  EXPECT_EQ(h.offsets(), g.offsets());
+  EXPECT_EQ(h.edges(), g.edges());
+  // v1 predates the structural size check; trailing bytes stay tolerated.
+  std::string bytes = slurp(path("v1.badj"));
+  bytes += "tail";
+  spit(path("v1.badj"), bytes);
+  EXPECT_EQ(read_binary_graph(path("v1.badj")).edges(), g.edges());
+}
+
+TEST_F(IoTest, BinaryV2WithoutChecksumRoundTrips) {
+  const graph g = random_graph(300, 4, 11);
+  io_options no_sum;
+  no_sum.binary_checksum = false;
+  write_binary_graph(g, path("ns.badj"), no_sum);
+  // The file is smaller by exactly the 8-byte trailer.
+  write_binary_graph(g, path("ws.badj"));
+  EXPECT_EQ(std::filesystem::file_size(path("ns.badj")) + 8,
+            std::filesystem::file_size(path("ws.badj")));
+  const graph h = read_binary_graph(path("ns.badj"));
+  EXPECT_EQ(h.offsets(), g.offsets());
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST_F(IoTest, BinaryTruncationDiagnostics) {
+  write_binary_graph(cycle_graph(200), path("cut.badj"));
+  const size_t full = std::filesystem::file_size(path("cut.badj"));
+  for (const size_t keep : {size_t{2}, size_t{10}, size_t{100}, full - 1}) {
+    std::filesystem::resize_file(path("cut.badj"), keep);
+    try {
+      read_binary_graph(path("cut.badj"));
+      FAIL() << "accepted a file truncated to " << keep << " bytes";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("cut.badj"), std::string::npos);
+    }
+    write_binary_graph(cycle_graph(200), path("cut.badj"));
+  }
+}
+
+TEST_F(IoTest, AdjacencyWhitespaceVariationsMatchSerial) {
+  // Same token stream, CRLF + tabs + runs of spaces: both parsers see the
+  // istream whitespace set.
+  spit(path("ws.adj"), "AdjacencyGraph\r\n3  4\t\n0 2\r\n3\t1 2 0 0\n");
+  const graph s = read_adjacency_graph(path("ws.adj"), serial_io());
+  const graph p = read_adjacency_graph(path("ws.adj"));
+  EXPECT_EQ(s.offsets(), p.offsets());
+  EXPECT_EQ(s.edges(), p.edges());
+  EXPECT_EQ(p.num_vertices(), 3u);
+}
+
+TEST_F(IoTest, AdjacencyRejectsMalformedNumber) {
+  spit(path("junk.adj"), "AdjacencyGraph\n2\n2\n0\n1\n0\nx1\n");
+  EXPECT_THROW(read_adjacency_graph(path("junk.adj")), std::runtime_error);
+  EXPECT_THROW(read_adjacency_graph(path("junk.adj"), serial_io()),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, PhaseTimerSeesIoPhases) {
+  const graph g = random_graph(500, 3, 13);
+  write_binary_graph(g, path("ph.badj"));
+  parallel::phase_timer phases;
+  io_options opt;
+  opt.phases = &phases;
+  (void)read_binary_graph(path("ph.badj"), opt);
+  EXPECT_TRUE(phases.phases().contains("io.map"));
+  EXPECT_TRUE(phases.phases().contains("io.parse"));
+  EXPECT_TRUE(phases.phases().contains("io.checksum"));
+  EXPECT_TRUE(phases.phases().contains("io.validate"));
 }
 
 }  // namespace

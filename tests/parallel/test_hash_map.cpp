@@ -99,5 +99,34 @@ TEST(HashMap, EmptyMap) {
   EXPECT_TRUE(m.elements().empty());
 }
 
+TEST(HashMap, InsertMinKeepsMinimum) {
+  hash_map64 m(10, ~uint64_t{0});
+  EXPECT_TRUE(m.insert_min(7, 30));
+  EXPECT_FALSE(m.insert_min(7, 10));
+  EXPECT_FALSE(m.insert_min(7, 20));
+  uint64_t v = 0;
+  ASSERT_TRUE(m.find(7, &v));
+  EXPECT_EQ(v, 10u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(HashMap, ConcurrentInsertMinIsDeterministic) {
+  // Unlike insert(), the stored value is the exact minimum over all
+  // proposals for the key, regardless of arrival order — the property the
+  // SNAP loader's first-occurrence id compaction relies on.
+  constexpr size_t kKeys = 5000;
+  hash_map64 m(kKeys, ~uint64_t{0});
+  parallel_for(0, kKeys * 16, [&](size_t i) {
+    const uint64_t key = (i % kKeys) + 1;
+    m.insert_min(key, key * 1000 + i / kKeys);
+  }, 64);
+  EXPECT_EQ(m.size(), kKeys);
+  for (uint64_t key = 1; key <= kKeys; key += 37) {
+    uint64_t v = 0;
+    ASSERT_TRUE(m.find(key, &v));
+    EXPECT_EQ(v, key * 1000);  // minimum of the 16 proposals, exactly
+  }
+}
+
 }  // namespace
 }  // namespace pcc::parallel

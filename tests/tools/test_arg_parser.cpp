@@ -1,4 +1,6 @@
-// The tools' flag parser.
+// The tools' flag parser: declared value/boolean flags, --flag=value,
+// strict numerics, and the regression for the boolean-flag lookahead bug
+// (a boolean flag used to swallow the following positional).
 
 #include <gtest/gtest.h>
 
@@ -9,14 +11,16 @@
 namespace pcc::tools {
 namespace {
 
-arg_parser parse(std::vector<const char*> argv) {
-  return arg_parser(static_cast<int>(argv.size()),
-                    const_cast<char**>(argv.data()));
+arg_parser parse(std::vector<const char*> argv,
+                 std::vector<std::string> value_flags,
+                 std::vector<std::string> bool_flags) {
+  return arg_parser(static_cast<int>(argv.size()), argv.data(),
+                    std::move(value_flags), std::move(bool_flags));
 }
 
 TEST(ArgParser, KeyValuePairsAndPositionals) {
-  const auto args =
-      parse({"prog", "--type", "rmat", "input.adj", "--n", "100"});
+  const auto args = parse({"prog", "--type", "rmat", "input.adj", "--n", "100"},
+                          {"type", "n"}, {});
   EXPECT_EQ(args.program(), "prog");
   EXPECT_EQ(args.get("type", ""), "rmat");
   EXPECT_EQ(args.get_int("n", 0), 100);
@@ -25,7 +29,7 @@ TEST(ArgParser, KeyValuePairsAndPositionals) {
 }
 
 TEST(ArgParser, Defaults) {
-  const auto args = parse({"prog"});
+  const auto args = parse({"prog"}, {"missing"}, {});
   EXPECT_EQ(args.get("missing", "dflt"), "dflt");
   EXPECT_EQ(args.get_int("missing", 7), 7);
   EXPECT_DOUBLE_EQ(args.get_double("missing", 0.25), 0.25);
@@ -33,9 +37,18 @@ TEST(ArgParser, Defaults) {
   EXPECT_TRUE(args.positionals().empty());
 }
 
+// The PR-3 bug: "--stats graph.adj" must keep graph.adj as a positional
+// instead of making it the value of the boolean flag.
+TEST(ArgParser, BooleanFlagDoesNotSwallowPositional) {
+  const auto args = parse({"prog", "--stats", "graph.adj"}, {}, {"stats"});
+  EXPECT_TRUE(args.has("stats"));
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positionals()[0], "graph.adj");
+}
+
 TEST(ArgParser, BooleanFlags) {
-  // A flag followed by another flag (or end of argv) is boolean.
-  const auto args = parse({"prog", "--verify", "--stats", "--out", "f.txt"});
+  const auto args = parse({"prog", "--verify", "--stats", "--out", "f.txt"},
+                          {"out"}, {"verify", "stats"});
   EXPECT_TRUE(args.has("verify"));
   EXPECT_TRUE(args.has("stats"));
   EXPECT_EQ(args.get("verify", "x"), "");
@@ -43,26 +56,69 @@ TEST(ArgParser, BooleanFlags) {
 }
 
 TEST(ArgParser, TrailingBooleanFlag) {
-  const auto args = parse({"prog", "in.adj", "--verbose"});
+  const auto args = parse({"prog", "in.adj", "--verbose"}, {}, {"verbose"});
   EXPECT_TRUE(args.has("verbose"));
   EXPECT_EQ(args.positionals().size(), 1u);
 }
 
+TEST(ArgParser, EqualsSyntax) {
+  const auto args = parse({"prog", "--beta=0.5", "--out=x.txt"},
+                          {"beta", "out"}, {});
+  EXPECT_DOUBLE_EQ(args.get_double("beta", 0), 0.5);
+  EXPECT_EQ(args.get("out", ""), "x.txt");
+}
+
+TEST(ArgParser, ValueFlagMayTakeDashValue) {
+  // A value flag consumes the next argv entry even if it looks negative.
+  const auto args = parse({"prog", "--seed", "-1"}, {"seed"}, {});
+  EXPECT_EQ(args.get_int("seed", 0), -1);
+}
+
 TEST(ArgParser, NumericParsing) {
-  const auto args = parse({"prog", "--beta", "0.125", "--n", "5000000000"});
+  const auto args = parse({"prog", "--beta", "0.125", "--n", "5000000000"},
+                          {"beta", "n"}, {});
   EXPECT_DOUBLE_EQ(args.get_double("beta", 0), 0.125);
   EXPECT_EQ(args.get_int("n", 0), 5000000000LL);  // 64-bit values survive
 }
 
 TEST(ArgParser, LastOccurrenceWins) {
-  const auto args = parse({"prog", "--n", "1", "--n", "2"});
+  const auto args = parse({"prog", "--n", "1", "--n", "2"}, {"n"}, {});
   EXPECT_EQ(args.get_int("n", 0), 2);
 }
 
 TEST(ArgParser, MultiplePositionalsKeepOrder) {
-  const auto args = parse({"prog", "a", "--k", "v", "b", "c"});
-  EXPECT_EQ(args.positionals(),
-            (std::vector<std::string>{"a", "b", "c"}));
+  const auto args = parse({"prog", "a", "--k", "v", "b", "c"}, {"k"}, {});
+  EXPECT_EQ(args.positionals(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  EXPECT_THROW(parse({"prog", "--bogus"}, {"n"}, {"stats"}), arg_error);
+  EXPECT_THROW(parse({"prog", "--bogus=3"}, {"n"}, {"stats"}), arg_error);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  EXPECT_THROW(parse({"prog", "--out"}, {"out"}, {}), arg_error);
+}
+
+TEST(ArgParser, BooleanFlagWithValueThrows) {
+  EXPECT_THROW(parse({"prog", "--stats=yes"}, {}, {"stats"}), arg_error);
+}
+
+// atoll/atof used to turn junk into silent zeros; now it is an error.
+TEST(ArgParser, GarbageNumbersThrow) {
+  const auto args = parse({"prog", "--beta", "abc", "--n", "12x", "--m", "9"},
+                          {"beta", "n", "m"}, {});
+  EXPECT_THROW(args.get_double("beta", 0.2), arg_error);
+  EXPECT_THROW(args.get_int("n", 0), arg_error);
+  EXPECT_THROW(args.get_int("beta", 0), arg_error);  // "abc" as int too
+  EXPECT_EQ(args.get_int("m", 0), 9);
+  EXPECT_THROW(parse({"prog", "--n", ""}, {"n"}, {}).get_int("n", 0),
+               arg_error);
+}
+
+TEST(ArgParser, FloatValuesAccepted) {
+  const auto args = parse({"prog", "--beta", ".5"}, {"beta"}, {});
+  EXPECT_DOUBLE_EQ(args.get_double("beta", 0), 0.5);
 }
 
 }  // namespace

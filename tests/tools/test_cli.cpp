@@ -140,5 +140,78 @@ TEST_F(CliTest, ComponentsRejectsMissingFileAndBadAlgo) {
             0);
 }
 
+// The PR-3 bug: a boolean flag before the positional used to swallow it
+// ("--stats graph.adj" parsed graph.adj as the value of --stats).
+TEST_F(CliTest, BooleanFlagBeforePositional) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type cycle --n 50 " + path("g.adj")), 0);
+  EXPECT_EQ(run(tool("pcc_components") + " --stats " + path("g.adj")), 0);
+  EXPECT_EQ(run(tool("pcc_components") + " --verify " + path("g.adj")), 0);
+}
+
+TEST_F(CliTest, UnknownAndMalformedFlagsExitWithUsage) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type cycle --n 20 " + path("g.adj")), 0);
+  EXPECT_EQ(run(tool("pcc_components") + " " + path("g.adj") + " --bogus"), 2);
+  EXPECT_EQ(run(tool("pcc_components") + " " + path("g.adj") + " --beta abc"),
+            2);
+  EXPECT_EQ(run(tool("pcc_components") + " " + path("g.adj") + " --seed"), 2);
+  EXPECT_EQ(run(tool("pcc_gen") + " --type cycle --n 1x " + path("x.adj")), 2);
+  EXPECT_EQ(run(tool("pcc_fuzz") + " --trials nope"), 2);
+}
+
+TEST_F(CliTest, AutoFormatDetection) {
+  // No --format flag: pcc_components sniffs all three formats.
+  ASSERT_EQ(run(tool("pcc_gen") + " --type random --n 200 --degree 3 "
+                "--format badj " + path("g.badj")),
+            0);
+  ASSERT_EQ(run(tool("pcc_gen") + " --type random --n 200 --degree 3 "
+                "--format snap " + path("g.txt")),
+            0);
+  EXPECT_EQ(run(tool("pcc_components") + " " + path("g.badj") + " --verify"),
+            0);
+  EXPECT_EQ(run(tool("pcc_components") + " " + path("g.txt") + " --verify"),
+            0);
+}
+
+TEST_F(CliTest, SerialIoFlagWorks) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type cycle --n 60 " + path("g.adj")), 0);
+  EXPECT_EQ(run(tool("pcc_components") + " --serial-io " + path("g.adj") +
+                " --verify"),
+            0);
+}
+
+TEST_F(CliTest, CorruptBinaryFailsWithDiagnostic) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type cycle --n 100 --format badj " +
+                path("g.badj")),
+            0);
+  // Flip one byte inside the edge array; the v2 checksum must catch it and
+  // the tool must fail instead of constructing a bogus graph.
+  {
+    std::fstream f(path("g.badj"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(24 + 101 * 8);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x02);
+    f.seekp(24 + 101 * 8);
+    f.write(&b, 1);
+  }
+  EXPECT_EQ(run(tool("pcc_components") + " " + path("g.badj")), 1);
+  // Truncated file: structural size check fires.
+  ASSERT_EQ(run(tool("pcc_gen") + " --type cycle --n 100 --format badj " +
+                path("t.badj")),
+            0);
+  fs::resize_file(path("t.badj"), fs::file_size(path("t.badj")) / 2);
+  EXPECT_EQ(run(tool("pcc_components") + " " + path("t.badj")), 1);
+}
+
+TEST_F(CliTest, RepeatModeUsesEngine) {
+  ASSERT_EQ(run(tool("pcc_gen") + " --type random --n 400 --degree 3 " +
+                path("g.adj")),
+            0);
+  EXPECT_EQ(run(tool("pcc_components") + " --repeat 3 " + path("g.adj") +
+                " --verify"),
+            0);
+}
+
 }  // namespace
 }  // namespace pcc

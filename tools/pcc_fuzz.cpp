@@ -44,8 +44,8 @@ const char* kind_name(uint64_t kind) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  tools::arg_parser args(argc, argv);
+int main(int argc, char** argv) try {
+  tools::arg_parser args(argc, argv, {"trials", "max-n", "seed"}, {});
   const int trials = static_cast<int>(args.get_int("trials", 50));
   const size_t max_n = static_cast<size_t>(args.get_int("max-n", 4000));
   const uint64_t base_seed = static_cast<uint64_t>(args.get_int("seed", 1));
@@ -171,4 +171,7 @@ int main(int argc, char** argv) {
   std::printf("fuzz passed: %d trials, %zu checks, no mismatches\n", trials,
               checks);
   return 0;
+} catch (const pcc::tools::arg_error& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  pcc::tools::usage_and_exit("usage: pcc_fuzz [--trials N] [--max-n N] [--seed S]\n");
 }

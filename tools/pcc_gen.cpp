@@ -5,7 +5,8 @@
 //   pcc_gen --type grid3d --n 97336 out.adj
 //   pcc_gen --type line --n 500000 out.adj
 //   pcc_gen --type orkut-like --n 16384 out.adj
-//   ... --format snap writes a SNAP edge list instead of AdjacencyGraph.
+//   ... --format snap writes a SNAP edge list instead of AdjacencyGraph;
+//   --format auto picks from the output extension.
 
 #include <cstdio>
 #include <string>
@@ -18,13 +19,13 @@ namespace {
 constexpr const char kUsage[] =
     "usage: pcc_gen --type {random|rmat|grid3d|line|orkut-like|star|cycle}\n"
     "               --n N [--degree D] [--m M] [--seed S]\n"
-    "               [--format {adj|badj|snap}] [--no-relabel] OUTPUT\n";
+    "               [--format {auto|adj|badj|snap}] [--no-relabel] OUTPUT\n";
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace pcc;
-  tools::arg_parser args(argc, argv);
+  tools::arg_parser args(argc, argv,
+                         {"type", "n", "degree", "m", "seed", "format"},
+                         {"no-relabel", "relabel"});
   if (args.positionals().size() != 1 || !args.has("type") || !args.has("n")) {
     tools::usage_and_exit(kUsage);
   }
@@ -34,6 +35,8 @@ int main(int argc, char** argv) {
   const size_t m = static_cast<size_t>(args.get_int("m", 5 * n));
   const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 1));
   const bool relabel = !args.has("no-relabel");
+  const graph::file_format format =
+      graph::format_from_name(args.get("format", "adj"));
   const std::string out = args.positionals()[0];
 
   graph::graph g;
@@ -55,17 +58,28 @@ int main(int argc, char** argv) {
     tools::usage_and_exit(kUsage);
   }
 
-  const std::string format = args.get("format", "adj");
-  if (format == "adj") {
-    graph::write_adjacency_graph(g, out);
-  } else if (format == "badj") {
-    graph::write_binary_graph(g, out);
-  } else if (format == "snap") {
-    graph::write_edge_list(g, out);
-  } else {
-    tools::usage_and_exit(kUsage);
+  try {
+    graph::save_graph(g, out, format);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
   std::printf("wrote %s: n=%zu, m=%zu undirected edges (%s)\n", out.c_str(),
-              g.num_vertices(), g.num_undirected_edges(), format.c_str());
+              g.num_vertices(), g.num_undirected_edges(),
+              args.get("format", "adj").c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const pcc::tools::arg_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    pcc::tools::usage_and_exit(kUsage);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

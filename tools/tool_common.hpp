@@ -1,29 +1,65 @@
 // Minimal flag parsing shared by the command-line tools.
 #pragma once
 
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace pcc::tools {
 
-// Parses "--key value" pairs and bare positionals from argv.
+// Thrown for any command-line problem (unknown flag, missing value,
+// malformed number). Tools catch it, print the message plus usage text and
+// exit 2 — distinct from runtime failures, which exit 1.
+struct arg_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Parses "--key value" / "--key=value" flags and bare positionals from
+// argv. Every tool declares its flags up front: `value_flags` take exactly
+// one argument, `bool_flags` never consume one — so a boolean flag can
+// precede a positional ("pcc_components --stats graph.adj") without
+// swallowing it. Anything else starting with "--" is an error rather than
+// a silently ignored typo.
 class arg_parser {
  public:
-  arg_parser(int argc, char** argv) {
-    program_ = argv[0];
+  arg_parser(int argc, const char* const* argv,
+             std::vector<std::string> value_flags,
+             std::vector<std::string> bool_flags)
+      : program_(argc > 0 ? argv[0] : "") {
+    const auto is_in = [](const std::vector<std::string>& set,
+                          const std::string& key) {
+      return std::find(set.begin(), set.end(), key) != set.end();
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
-      if (a.rfind("--", 0) == 0) {
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          flags_[a.substr(2)] = argv[++i];
-        } else {
-          flags_[a.substr(2)] = "";  // boolean flag
-        }
-      } else {
+      if (a.rfind("--", 0) != 0) {
         positionals_.push_back(a);
+        continue;
+      }
+      std::string key = a.substr(2);
+      std::string value;
+      bool has_value = false;
+      if (const size_t eq = key.find('='); eq != std::string::npos) {
+        value = key.substr(eq + 1);
+        key.resize(eq);
+        has_value = true;
+      }
+      if (is_in(bool_flags, key)) {
+        if (has_value) throw arg_error("flag --" + key + " takes no value");
+        flags_[key] = "";
+      } else if (is_in(value_flags, key)) {
+        if (!has_value) {
+          if (i + 1 >= argc) throw arg_error("missing value for --" + key);
+          value = argv[++i];
+        }
+        flags_[key] = value;
+      } else {
+        throw arg_error("unknown flag --" + key);
       }
     }
   }
@@ -38,17 +74,40 @@ class arg_parser {
     return it == flags_.end() ? dflt : it->second;
   }
 
+  // Numeric getters parse with std::from_chars and reject anything but a
+  // fully consumed number ("--beta abc" and "--seed 12x" are errors, not
+  // silent zeros the way atoll/atof made them).
   long long get_int(const std::string& key, long long dflt) const {
     auto it = flags_.find(key);
-    return it == flags_.end() ? dflt : std::atoll(it->second.c_str());
+    if (it == flags_.end()) return dflt;
+    long long v = 0;
+    if (!parse_full(it->second, &v)) {
+      throw arg_error("flag --" + key + " expects an integer, got \"" +
+                      it->second + "\"");
+    }
+    return v;
   }
 
   double get_double(const std::string& key, double dflt) const {
     auto it = flags_.find(key);
-    return it == flags_.end() ? dflt : std::atof(it->second.c_str());
+    if (it == flags_.end()) return dflt;
+    double v = 0;
+    if (!parse_full(it->second, &v)) {
+      throw arg_error("flag --" + key + " expects a number, got \"" +
+                      it->second + "\"");
+    }
+    return v;
   }
 
  private:
+  template <typename T>
+  static bool parse_full(const std::string& s, T* out) {
+    const char* b = s.data();
+    const char* e = b + s.size();
+    const auto [p, ec] = std::from_chars(b, e, *out);
+    return b != e && ec == std::errc{} && p == e;
+  }
+
   std::string program_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positionals_;
