@@ -84,30 +84,10 @@ int main() {
   std::printf("(threshold 1.1 never goes dense == plain decomp-arb plus "
               "bookkeeping)\n");
 
-  std::printf("\n(d) high-degree edge-parallel threshold (decomp-arb-CC; "
-              "paper Section 4's optional optimization, default off)\n");
-  std::printf("%-10s", "graph");
-  const std::vector<size_t> ethresholds = {8, 64, 1024, SIZE_MAX};
-  for (size_t th : ethresholds) {
-    if (th == SIZE_MAX) {
-      std::printf(" %9s", "off");
-    } else {
-      std::printf(" %9zu", th);
-    }
-  }
-  std::printf("\n");
-  for (const auto& [gname, g] : suite) {
-    std::printf("%-10s", gname.c_str());
-    for (size_t th : ethresholds) {
-      cc::cc_options opt;
-      opt.variant = cc::decomp_variant::kArb;
-      opt.parallel_edge_threshold = th;
-      std::printf(" %9.4f",
-                  median_time([&] { (void)cc::connected_components(g, opt); }));
-    }
-    std::printf("\n");
-  }
-  std::printf("(the paper found no win from this at 40 cores; it exists for "
-              "much wider machines / much more skewed graphs)\n");
+  std::printf("\n(d) high-degree edge-parallel threshold: retired. Rounds "
+              "are now edge-balanced unconditionally (frontier_edge_for "
+              "splits the flattened edge space into near-equal chunks), "
+              "which subsumes paper Section 4's per-hub threshold; "
+              "cc_options::parallel_edge_threshold is ignored.\n");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
@@ -70,10 +71,16 @@ inline std::vector<named_graph> paper_graph_suite() {
   return suite;
 }
 
-// Median-of-k wall-clock time of fn() in seconds (the paper reports the
-// median of three trials).
-inline double median_time(const std::function<void()>& fn,
-                          int trials_override = 0) {
+// Median + min of k wall-clock timings of fn(), in seconds (the paper
+// reports the median of three trials; the min is the noise floor).
+struct time_stats {
+  double median_s = 0;
+  double min_s = 0;
+  int reps = 0;
+};
+
+inline time_stats time_stats_of(const std::function<void()>& fn,
+                                int trials_override = 0) {
   const int trials = trials_override > 0 ? trials_override : num_trials();
   std::vector<double> times(trials);
   for (int t = 0; t < trials; ++t) {
@@ -82,7 +89,68 @@ inline double median_time(const std::function<void()>& fn,
     times[t] = timer.elapsed();
   }
   std::sort(times.begin(), times.end());
-  return times[trials / 2];
+  return {times[trials / 2], times[0], trials};
+}
+
+// Median-of-k wall-clock time of fn() in seconds.
+inline double median_time(const std::function<void()>& fn,
+                          int trials_override = 0) {
+  return time_stats_of(fn, trials_override).median_s;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every harness can dump its measurements as JSON
+// (results/BENCH_<name>.json) so the perf trajectory is tracked across
+// commits. One record per (kernel, graph) pair; the file carries the thread
+// count and bench scale the numbers were taken at. PCC_BENCH_JSON overrides
+// the output path; PCC_BENCH_JSON=off suppresses the file.
+
+struct bench_record {
+  std::string kernel;  // kernel / implementation name
+  std::string graph;   // input id ("random", "n=16384", ...)
+  time_stats stats;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+inline void write_bench_json(const std::string& default_path,
+                             const std::string& bench_name,
+                             const std::vector<bench_record>& records) {
+  std::string path = default_path;
+  if (const char* p = std::getenv("PCC_BENCH_JSON"); p != nullptr) path = p;
+  if (path.empty() || path == "off") return;
+  std::error_code ec;  // best-effort: a bench run must not die on mkdir
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n",
+               json_escape(bench_name).c_str(), parallel::num_workers());
+  std::fprintf(f, "  \"scale\": %.6g,\n  \"entries\": [\n", scale_factor());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const bench_record& r = records[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"graph\": \"%s\", "
+                 "\"median_s\": %.9g, \"min_s\": %.9g, \"reps\": %d}%s\n",
+                 json_escape(r.kernel).c_str(), json_escape(r.graph).c_str(),
+                 r.stats.median_s, r.stats.min_s, r.stats.reps,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "bench: wrote %s (%zu entries)\n", path.c_str(),
+               records.size());
 }
 
 // All connectivity implementations, ours and baselines, keyed by the names

@@ -29,12 +29,17 @@ int main() {
   cc::cc_options opt;
   opt.variant = cc::decomp_variant::kArbHybrid;
   cc::cc_engine engine(opt);  // one engine across sizes and trials
+  std::vector<bench_record> records;
   for (size_t m : sizes) {
     const size_t n = std::max<size_t>(m / 5, 16);
     const graph::graph g = graph::random_graph(n, 5, 81 + m);
-    const double t = median_time([&] { (void)engine.run(g); });
+    const time_stats ts = time_stats_of([&] { (void)engine.run(g); });
+    const double t = ts.median_s;
     std::printf("%14zu %14zu %12.4f %16.2f\n", g.num_undirected_edges(), n, t,
                 1e9 * t / static_cast<double>(g.num_undirected_edges()));
+    records.push_back({"decomp-arb-hybrid-CC",
+                       "random-m" + std::to_string(g.num_undirected_edges()),
+                       ts});
     if (m_first == 0) {
       m_first = g.num_undirected_edges();
       t_first = t;
@@ -42,6 +47,7 @@ int main() {
     m_last = g.num_undirected_edges();
     t_last = t;
   }
+  write_bench_json("results/BENCH_fig8.json", "fig8_scaling", records);
   if (t_first > 0) {
     const double size_ratio =
         static_cast<double>(m_last) / static_cast<double>(m_first);

@@ -1,9 +1,18 @@
 // google-benchmark microbenchmarks of the parallel primitives the
 // connectivity pipeline is built from: scan, pack, radix sort, random
 // permutation, hash-set dedup, BFS, and single decomposition calls.
+//
+// Besides the normal console output, the run is summarized as
+// results/BENCH_micro.json (median + min of the per-repetition real times;
+// see bench_common.hpp for the schema and the PCC_BENCH_JSON override).
+// `--reps N` (or PCC_TRIALS) sets --benchmark_repetitions.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <map>
+
+#include "bench_common.hpp"
 #include "pcc.hpp"
 
 namespace {
@@ -165,6 +174,76 @@ void BM_SpanningForest(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanningForest)->Arg(1 << 14)->Arg(1 << 17);
 
+// Console output as usual, plus a per-benchmark collection of the
+// individual repetition times so the JSON summary can report median + min
+// regardless of google-benchmark's own aggregate naming.
+class MicroJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.run_type == Run::RT_Iteration && !r.error_occurred) {
+        const double unit = benchmark::GetTimeUnitMultiplier(r.time_unit);
+        samples_[r.benchmark_name()].push_back(r.GetAdjustedRealTime() / unit);
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<pcc::bench::bench_record> records() const {
+    std::vector<pcc::bench::bench_record> out;
+    for (const auto& [name, times] : samples_) {
+      std::vector<double> sorted = times;
+      std::sort(sorted.begin(), sorted.end());
+      const size_t slash = name.find('/');
+      pcc::bench::bench_record rec;
+      rec.kernel = name.substr(0, slash);
+      rec.graph = slash == std::string::npos ? "-"
+                                             : "n=" + name.substr(slash + 1);
+      rec.stats = {sorted[sorted.size() / 2], sorted.front(),
+                   static_cast<int>(sorted.size())};
+      out.push_back(std::move(rec));
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::vector<double>> samples_;  // insertion-stable
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--reps N` (or PCC_TRIALS) becomes --benchmark_repetitions=N; all other
+  // arguments pass through to google-benchmark untouched.
+  int reps = 0;
+  if (const char* s = std::getenv("PCC_TRIALS"); s != nullptr) {
+    reps = std::atoi(s);
+  }
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string reps_flag;
+  if (reps > 0) {
+    reps_flag = "--benchmark_repetitions=" + std::to_string(reps);
+    args.push_back(reps_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  pcc::bench::apply_thread_env();
+  MicroJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  pcc::bench::write_bench_json("results/BENCH_micro.json", "micro",
+                               reporter.records());
+  benchmark::Shutdown();
+  return 0;
+}

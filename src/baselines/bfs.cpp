@@ -1,6 +1,7 @@
 #include "baselines/bfs.hpp"
 
 #include "parallel/atomics.hpp"
+#include "parallel/emit.hpp"
 #include "parallel/scheduler.hpp"
 #include "parallel/sequence.hpp"
 
@@ -9,8 +10,36 @@ namespace pcc::baselines {
 namespace {
 using parallel::atomic_load;
 using parallel::cas;
-using parallel::fetch_add;
 using parallel::parallel_for;
+
+// One edge-balanced top-down step shared by every BFS variant here: each
+// frontier vertex's neighbours are scanned in near-equal edge chunks
+// (frontier_edge_for splits hubs across chunks) and claimed neighbours are
+// emitted into `next` without a shared cursor. `claim(w, v)` must be the
+// atomic claim (CAS-guarded), true at most once per destination.
+template <typename Claim>
+size_t top_down_step(const graph::graph& g,
+                     std::span<const vertex_id> frontier,
+                     std::span<vertex_id> next, parallel::workspace& ws,
+                     Claim&& claim) {
+  parallel::workspace::scope s(ws);
+  const parallel::frontier_result run =
+      parallel::frontier_edge_for<vertex_id>(
+          frontier.size(), [&](size_t fi) { return g.degree(frontier[fi]); },
+          next, ws,
+          [&](size_t fi, uint32_t jlo, uint32_t jhi, uint32_t,
+              parallel::emitter<vertex_id>& em) -> uint32_t {
+            const vertex_id v = frontier[fi];
+            const std::span<const vertex_id> nbrs = g.neighbors(v);
+            for (uint32_t i = jlo; i < jhi; ++i) {
+              const vertex_id w = nbrs[i];
+              if (claim(w, v)) em(w);
+            }
+            return 0;
+          });
+  return run.emitted;
+}
+
 }  // namespace
 
 void bfs_scratch::ensure(size_t n) {
@@ -65,26 +94,22 @@ bfs_result hybrid_bfs_label(const graph::graph& g, vertex_id source,
         // lint: private-write(frontier holds distinct vertex ids)
         on_frontier[frontier[i]] = 0;
       });
-      std::vector<vertex_id> gathered = parallel::pack_index<vertex_id>(
-          n, [&](size_t v) { return next_flags[v] != 0; });
-      parallel_for(0, gathered.size(), [&](size_t i) {
-        // lint: private-write(gathered holds distinct vertex ids)
-        next_flags[gathered[i]] = 0;
+      const size_t gathered = parallel::pack_index_span<vertex_id>(
+          n, [&](size_t v) { return next_flags[v] != 0; },
+          std::span<vertex_id>(next), s.ws);
+      parallel_for(0, gathered, [&](size_t i) {
+        // lint: private-write(next holds distinct vertex ids)
+        next_flags[next[i]] = 0;
       });
-      res.num_visited += gathered.size();
-      frontier.swap(gathered);
+      res.num_visited += gathered;
+      frontier.assign(next.begin(), next.begin() + gathered);
     } else {
       // Top-down step: frontier vertices claim unvisited neighbours.
-      size_t next_size = 0;
-      parallel_for(0, frontier.size(), [&](size_t fi) {
-        const vertex_id v = frontier[fi];
-        for (vertex_id w : g.neighbors(v)) {
-          if (atomic_load(&labels[w]) == kNoVertex &&
-              cas(&labels[w], kNoVertex, label)) {
-            next[fetch_add<size_t>(&next_size, 1)] = w;
-          }
-        }
-      });
+      const size_t next_size = top_down_step(
+          g, frontier, next, s.ws, [&](vertex_id w, vertex_id) {
+            return atomic_load(&labels[w]) == kNoVertex &&
+                   cas(&labels[w], kNoVertex, label);
+          });
       res.num_visited += next_size;
       frontier.assign(next.begin(), next.begin() + next_size);
     }
@@ -99,17 +124,13 @@ std::vector<vertex_id> parallel_bfs_parents(const graph::graph& g,
   parents[source] = source;
   std::vector<vertex_id> frontier{source};
   std::vector<vertex_id> next(n);
+  parallel::workspace ws;
   while (!frontier.empty()) {
-    size_t next_size = 0;
-    parallel_for(0, frontier.size(), [&](size_t fi) {
-      const vertex_id v = frontier[fi];
-      for (vertex_id w : g.neighbors(v)) {
-        if (atomic_load(&parents[w]) == kNoVertex &&
-            cas(&parents[w], kNoVertex, v)) {
-          next[fetch_add<size_t>(&next_size, 1)] = w;
-        }
-      }
-    });
+    const size_t next_size =
+        top_down_step(g, frontier, next, ws, [&](vertex_id w, vertex_id v) {
+          return atomic_load(&parents[w]) == kNoVertex &&
+                 cas(&parents[w], kNoVertex, v);
+        });
     frontier.assign(next.begin(), next.begin() + next_size);
   }
   return parents;
@@ -123,18 +144,15 @@ std::vector<uint32_t> parallel_bfs_distances(const graph::graph& g,
   dist[source] = 0;
   std::vector<vertex_id> frontier{source};
   std::vector<vertex_id> next(n);
+  parallel::workspace ws;
   uint32_t level = 0;
   while (!frontier.empty()) {
     ++level;
-    size_t next_size = 0;
-    parallel_for(0, frontier.size(), [&](size_t fi) {
-      const vertex_id v = frontier[fi];
-      for (vertex_id w : g.neighbors(v)) {
-        if (atomic_load(&dist[w]) == kInf && cas(&dist[w], kInf, level)) {
-          next[fetch_add<size_t>(&next_size, 1)] = w;
-        }
-      }
-    });
+    const uint32_t lvl = level;
+    const size_t next_size =
+        top_down_step(g, frontier, next, ws, [&](vertex_id w, vertex_id) {
+          return atomic_load(&dist[w]) == kInf && cas(&dist[w], kInf, lvl);
+        });
     frontier.assign(next.begin(), next.begin() + next_size);
   }
   return dist;

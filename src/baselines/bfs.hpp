@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "parallel/arena.hpp"
 
 namespace pcc::baselines {
 
@@ -27,6 +28,7 @@ struct bfs_scratch {
   std::vector<vertex_id> next;
   std::vector<uint8_t> on_frontier;
   std::vector<uint8_t> next_flags;
+  parallel::workspace ws;  // frontier_edge_for / pack staging
   void ensure(size_t n);
 };
 

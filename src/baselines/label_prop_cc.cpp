@@ -39,8 +39,9 @@ std::vector<vertex_id> label_prop_components(const graph::graph& g) {
       n, parallel::pack_index<vertex_id>(n, [&](size_t v) {
         return g.degree(static_cast<vertex_id>(v)) > 0;
       }));
+  parallel::workspace ws;  // round scratch: flags + emission staging
   while (!frontier.empty()) {
-    frontier = graph::edge_map(g, frontier, update, cond);
+    frontier = graph::edge_map(g, frontier, update, cond, ws);
   }
   return labels;
 }

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "parallel/histogram.hpp"
+#include "parallel/integer_sort.hpp"
 #include "parallel/scheduler.hpp"
 #include "parallel/sequence.hpp"
 
@@ -48,12 +49,18 @@ component_index::component_index(std::span<const vertex_id> labels) {
   parallel::parallel_for(0, k, [&](size_t c) { starts_[c] = offsets[c]; });
   starts_[k] = n;
 
-  std::vector<size_t> cursor = offsets;
+  // Group the vertices with one stable integer sort on (component, vertex)
+  // keys instead of racing per-component cursors: the order within each
+  // component becomes deterministic (ascending vertex id — the sort is a
+  // stable LSD radix and the input is produced in vertex order).
+  std::vector<uint64_t> keyed(n);
   parallel::parallel_for(0, n, [&](size_t v) {
-    const size_t pos =
-        parallel::fetch_add<size_t>(&cursor[comp_of_[v]], size_t{1});
-    // lint: private-write(fetch_add hands each writer a unique slot)
-    vertices_[pos] = static_cast<vertex_id>(v);
+    keyed[v] = (static_cast<uint64_t>(comp_of_[v]) << 32) | v;
+  });
+  parallel::integer_sort(keyed, parallel::bits_needed(k == 0 ? 1 : k),
+                         [](uint64_t p) { return p >> 32; });
+  parallel::parallel_for(0, n, [&](size_t i) {
+    vertices_[i] = static_cast<vertex_id>(keyed[i]);
   });
 
   largest_ = 0;

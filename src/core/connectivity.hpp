@@ -35,8 +35,8 @@ struct cc_options {
   bool dedup = true;
   uint64_t seed = 42;
   double dense_threshold = 0.2;  // hybrid read/write switch point
-  // High-degree edge-parallel processing threshold for decomp_arb (see
-  // ldd::options::parallel_edge_threshold). Default off.
+  // Historical, now ignored: rounds are edge-balanced unconditionally
+  // (see ldd::options::parallel_edge_threshold).
   size_t parallel_edge_threshold = SIZE_MAX;
   // Safety net: beyond this recursion depth, finish with a sequential
   // spanning forest (never reached for beta in the supported range; guards

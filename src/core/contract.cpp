@@ -13,6 +13,7 @@
 
 #include "graph/builder.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/emit.hpp"
 #include "parallel/hash_table.hpp"
 #include "parallel/integer_sort.hpp"
 #include "parallel/scheduler.hpp"
@@ -128,20 +129,20 @@ contraction_view contract_into(const ldd::work_graph& wg,
   });
 
   if (dedup && !pairs.empty()) {
-    // Phase-concurrent insert; the winner of each key compacts it into the
-    // deduped array. The compaction order is scheduling-dependent, but the
-    // sort below is total on the (distinct) keys, so the final CSR is
-    // deterministic either way.
+    // Phase-concurrent insert; the winner of each key emits it, and
+    // emit_pack's block-local staging packs the winners in index order —
+    // no shared cursor, and the compacted array's order depends only on
+    // which duplicate won each insert race (the sort below is total on the
+    // distinct keys, so the final CSR is deterministic regardless).
     std::span<uint64_t> slots = scratch_ws.take<uint64_t>(
         parallel::hash_set64_view::slots_needed(pairs.size()));
     parallel::hash_set64_view set(slots);
     std::span<uint64_t> deduped = scratch_ws.take<uint64_t>(pairs.size());
-    size_t num_deduped = 0;
-    parallel_for(0, pairs.size(), [&](size_t i) {
-      if (set.insert(pairs[i])) {
-        deduped[parallel::fetch_add<size_t>(&num_deduped, 1)] = pairs[i];
-      }
-    });
+    const size_t num_deduped = parallel::emit_pack<uint64_t>(
+        pairs.size(), deduped, scratch_ws,
+        [&](size_t i, parallel::emitter<uint64_t>& em) {
+          if (set.insert(pairs[i])) em(pairs[i]);
+        });
     pairs = deduped.first(num_deduped);
   }
 

@@ -7,17 +7,24 @@
 // join the next frontier and the edge is deleted as intra-cluster;
 // otherwise the edge is kept iff the labels differ, with the target
 // relabeled to its cluster id on the fly.
+//
+// The round is edge-balanced: frontier_edge_for splits the frontier's
+// flattened edge space into near-equal chunks, so a hub vertex is shared
+// by many chunks instead of serializing the round, and the next frontier
+// is emitted contention-free in flattened edge order (no shared cursor).
+// A piece compacts its kept edges to the front of its own [jlo, jhi)
+// subrange; split vertices are stitched together by fix_split_pieces.
 
 #include "core/ldd.hpp"
 #include "core/ldd_internal.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/emit.hpp"
 
 namespace pcc::ldd {
 
 namespace {
 using parallel::atomic_load;
 using parallel::cas;
-using parallel::fetch_add;
 using parallel::parallel_for;
 using parallel::timer;
 }  // namespace
@@ -60,73 +67,61 @@ decomp_info decomp_arb_into(work_graph& wg, const options& opt,
     num_visited += frontier_size;
     if (pt != nullptr) pt->add("bfsPre", t.lap());
 
-    // bfsMain: single pass over the frontier's edges (Lines 9-20).
-    size_t next_size = 0;
-    parallel_for(0, frontier_size, [&](size_t fi) {
-      const vertex_id v = frontier[fi];
-      const vertex_id my_label = C[v];
-      const edge_id start = V[v];
-      const vertex_id deg = D[v];
-      if (deg > opt.parallel_edge_threshold) {
-        // High-degree path (Section 4): parallel loop over the edges,
-        // deleted edges marked with a sentinel, then packed with a prefix
-        // sum. kNoVertex never appears as a kept label, so it serves as
-        // the deletion mark. Runs inside the frontier loop, so its
-        // temporaries are plain vectors (a workspace is single-producer);
-        // this is an ablation path, off by default.
-        parallel_for(0, deg, [&](size_t i) {
-          const vertex_id w = E[start + i];
-          if (atomic_load(&C[w]) == kNoVertex &&
-              cas(&C[w], kNoVertex, my_label)) {
-            next[fetch_add<size_t>(&next_size, 1)] = w;
-            // lint: private-write(iteration i owns edge slot start + i)
-            E[start + i] = kNoVertex;
-          } else {
-            const vertex_id w_label = atomic_load(&C[w]);
-            // lint: private-write(iteration i owns edge slot start + i)
-            E[start + i] = w_label != my_label ? w_label : kNoVertex;
-          }
+    // bfsMain: one edge-balanced pass over the frontier's edges (Lines
+    // 9-20). Each piece claims/relabels its slots and compacts the kept
+    // edges to the front of its own subrange.
+    parallel::workspace::scope round_scope(ws);
+    const parallel::frontier_result run =
+        parallel::frontier_edge_for<vertex_id>(
+            frontier_size, [&](size_t fi) { return D[frontier[fi]]; }, next,
+            ws,
+            [&](size_t fi, uint32_t jlo, uint32_t jhi, uint32_t deg,
+                parallel::emitter<vertex_id>& em) -> uint32_t {
+              const vertex_id v = frontier[fi];
+              // Local raw pointers: the CAS below is a compiler barrier
+              // that forces captured spans to be re-read every edge, but a
+              // non-escaping local stays in a register across it.
+              vertex_id* const cl = C.data();
+              vertex_id* const ed = E.data();
+              const vertex_id my_label = cl[v];
+              const edge_id start = V[v];
+              uint32_t k = jlo;
+              for (uint32_t i = jlo; i < jhi; ++i) {
+                const vertex_id w = ed[start + i];
+                if (atomic_load(&cl[w]) == kNoVertex &&
+                    cas(&cl[w], kNoVertex, my_label)) {
+                  // v claimed w: intra-cluster edge, deleted by not
+                  // keeping it.
+                  em(w);
+                } else {
+                  const vertex_id w_label = atomic_load(&cl[w]);
+                  if (w_label != my_label) {
+                    // lint: private-write(piece owns slots [jlo, jhi) of v)
+                    ed[start + k] = w_label;  // inter-cluster: keep, relabeled
+                    ++k;
+                  }
+                }
+              }
+              if (jlo == 0 && jhi == deg) {
+                // lint: private-write(whole-vertex piece: sole writer of D[v])
+                D[v] = k;
+              }
+              return k - jlo;
+            });
+    parallel::fix_split_pieces(
+        run.partials,
+        [&](uint32_t fi, uint32_t dst, uint32_t src, uint32_t len) {
+          const edge_id start = V[frontier[fi]];
+          // Forward copy; dst <= src so overlapping ranges are safe.
+          std::copy(E.begin() + start + src, E.begin() + start + src + len,
+                    E.begin() + start + dst);
+        },
+        [&](uint32_t fi, uint32_t kept) {
+          // lint: private-write(one leader task per split vertex)
+          D[frontier[fi]] = kept;
         });
-        std::vector<size_t> pos;
-        const size_t kept = parallel::scan_exclusive_into(
-            deg,
-            [&](size_t i) {
-              return E[start + i] != kNoVertex ? size_t{1} : size_t{0};
-            },
-            pos);
-        std::vector<vertex_id> packed(kept);
-        parallel_for(0, deg, [&](size_t i) {
-          // lint: private-write(pos is an exclusive scan, injective on kept i)
-          if (E[start + i] != kNoVertex) packed[pos[i]] = E[start + i];
-        });
-        parallel_for(0, kept, [&](size_t i) {
-          // lint: private-write(iteration i owns edge slot start + i)
-          E[start + i] = packed[i];
-        });
-        // lint: private-write(frontier holds distinct vertices)
-        D[v] = static_cast<vertex_id>(kept);
-        return;
-      }
-      vertex_id k = 0;
-      for (vertex_id i = 0; i < deg; ++i) {
-        const vertex_id w = E[start + i];
-        if (atomic_load(&C[w]) == kNoVertex &&
-            cas(&C[w], kNoVertex, my_label)) {
-          // v claimed w: intra-cluster edge, deleted by not keeping it.
-          next[fetch_add<size_t>(&next_size, 1)] = w;
-        } else {
-          const vertex_id w_label = atomic_load(&C[w]);
-          if (w_label != my_label) {
-            // lint: private-write(v owns its own CSR slice [start, start+deg))
-            E[start + k] = w_label;  // inter-cluster: keep, relabeled
-            ++k;
-          }
-        }
-      }
-      D[v] = k;  // lint: private-write(frontier holds distinct vertices)
-    });
     std::swap(frontier, next);
-    frontier_size = next_size;
+    frontier_size = run.emitted;
     if (pt != nullptr) pt->add("bfsMain", t.lap());
     ++round;
   }

@@ -17,6 +17,7 @@
 #include "core/ldd.hpp"
 #include "core/ldd_internal.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/emit.hpp"
 #include "parallel/random.hpp"
 
 namespace pcc::ldd {
@@ -25,7 +26,6 @@ namespace {
 
 using parallel::atomic_load;
 using parallel::cas;
-using parallel::fetch_add;
 using parallel::pack_pair;
 using parallel::packed_pair;
 using parallel::pair_first;
@@ -81,73 +81,121 @@ decomp_info decomp_min_into(work_graph& wg, const options& opt,
 
     // Phase 1 (Lines 9-23): writeMin marking of unvisited neighbours; edges
     // to previously visited vertices are resolved immediately, edges to
-    // still-contended vertices are kept raw for phase 2.
-    parallel_for(0, frontier_size, [&](size_t fi) {
-      const vertex_id v = frontier[fi];
-      const vertex_id my_label = pair_second(C[v]);
-      const uint32_t my_frac = frac_of(my_label);
-      const edge_id start = V[v];
-      vertex_id k = 0;
-      const vertex_id deg = D[v];
-      for (vertex_id i = 0; i < deg; ++i) {
-        const vertex_id w = E[start + i];
-        const packed_pair cw = atomic_load(&C[w]);
-        if (pair_first(cw) != kVisitedFrac) {
-          // Unvisited (or only writeMin-marked this round): compete.
-          write_min(&C[w], pack_pair(my_frac, my_label));
-          // lint: private-write(v owns its CSR slice [start, start+deg))
-          E[start + k] = w;  // status unknown until phase 2
-          ++k;
-        } else if (pair_second(cw) != my_label) {
-          // Visited in an earlier round, different cluster: inter-cluster.
-          // Relabel now and set the mark bit so phase 2 skips it.
-          // lint: private-write(v owns its CSR slice [start, start+deg))
-          E[start + k] = internal::mark_edge(pair_second(cw));
-          ++k;
-        }
-        // else: intra-cluster, deleted.
-      }
-      D[v] = k;  // lint: private-write(frontier holds distinct vertices)
-    });
+    // still-contended vertices are kept raw for phase 2. Edge-balanced and
+    // non-emitting: each piece compacts its kept slots to the front of its
+    // own [jlo, jhi) subrange.
+    const auto slide = [&](uint32_t fi, uint32_t dst, uint32_t src,
+                           uint32_t len) {
+      const edge_id start = V[frontier[fi]];
+      std::copy(E.begin() + start + src, E.begin() + start + src + len,
+                E.begin() + start + dst);
+    };
+    const auto publish = [&](uint32_t fi, uint32_t kept) {
+      // lint: private-write(one leader task per split vertex)
+      D[frontier[fi]] = kept;
+    };
+    {
+      parallel::workspace::scope phase_scope(ws);
+      const parallel::frontier_result run = parallel::frontier_edge_for(
+          frontier_size, [&](size_t fi) { return D[frontier[fi]]; }, ws,
+          [&](size_t fi, uint32_t jlo, uint32_t jhi,
+              uint32_t deg) -> uint32_t {
+            const vertex_id v = frontier[fi];
+            // Local raw pointers: writeMin is a compiler barrier that
+            // forces captured spans to be re-read every edge; a
+            // non-escaping local stays in a register across it.
+            packed_pair* const cl = C.data();
+            vertex_id* const ed = E.data();
+            const vertex_id my_label = pair_second(cl[v]);
+            const uint32_t my_frac = frac_of(my_label);
+            const edge_id start = V[v];
+            uint32_t k = jlo;
+            for (uint32_t i = jlo; i < jhi; ++i) {
+              const vertex_id w = ed[start + i];
+              const packed_pair cw = atomic_load(&cl[w]);
+              if (pair_first(cw) != kVisitedFrac) {
+                // Unvisited (or only writeMin-marked this round): compete.
+                write_min(&cl[w], pack_pair(my_frac, my_label));
+                // lint: private-write(piece owns slots [jlo, jhi) of v)
+                ed[start + k] = w;  // status unknown until phase 2
+                ++k;
+              } else if (pair_second(cw) != my_label) {
+                // Visited in an earlier round, different cluster:
+                // inter-cluster. Relabel now and set the mark bit so
+                // phase 2 skips it.
+                // lint: private-write(piece owns slots [jlo, jhi) of v)
+                ed[start + k] = internal::mark_edge(pair_second(cw));
+                ++k;
+              }
+              // else: intra-cluster, deleted.
+            }
+            if (jlo == 0 && jhi == deg) {
+              // lint: private-write(whole-vertex piece: sole writer of D[v])
+              D[v] = k;
+            }
+            return k - jlo;
+          });
+      parallel::fix_split_pieces(run.partials, slide, publish);
+    }
     if (pt != nullptr) pt->add("bfsPhase1", t.lap());
 
     // Phase 2 (Lines 24-39): winners confirm their visits with a CAS; all
-    // remaining raw edges are resolved.
+    // remaining raw edges are resolved and the collected neighbours are
+    // emitted contention-free in flattened edge order.
     size_t next_size = 0;
-    parallel_for(0, frontier_size, [&](size_t fi) {
-      const vertex_id v = frontier[fi];
-      const vertex_id my_label = pair_second(C[v]);
-      const uint32_t my_frac = frac_of(my_label);
-      const packed_pair winning = pack_pair(my_frac, my_label);
-      const edge_id start = V[v];
-      vertex_id k = 0;
-      const vertex_id deg = D[v];
-      for (vertex_id i = 0; i < deg; ++i) {
-        const vertex_id w = E[start + i];
-        if (!internal::is_marked(w)) {
-          // Our cluster won w iff C[w] still holds our (frac, label); the
-          // CAS ensures only one frontier vertex of the cluster collects w
-          // (several may share the same winning pair).
-          if (atomic_load(&C[w]) == winning &&
-              cas(&C[w], winning, pack_pair(kVisitedFrac, my_label))) {
-            next[fetch_add<size_t>(&next_size, 1)] = w;
-            // Intra-cluster edge: deleted.
-          } else {
-            const vertex_id w_label = pair_second(atomic_load(&C[w]));
-            if (w_label != my_label) {
-              // lint: private-write(v owns its CSR slice [start, start+deg))
-              E[start + k] = internal::mark_edge(w_label);
-              ++k;
-            }
-          }
-        } else {
-          // lint: private-write(v owns its CSR slice [start, start+deg))
-          E[start + k] = w;  // resolved in phase 1, keep as-is
-          ++k;
-        }
-      }
-      D[v] = k;  // lint: private-write(frontier holds distinct vertices)
-    });
+    {
+      parallel::workspace::scope phase_scope(ws);
+      const parallel::frontier_result run =
+          parallel::frontier_edge_for<vertex_id>(
+              frontier_size, [&](size_t fi) { return D[frontier[fi]]; }, next,
+              ws,
+              [&](size_t fi, uint32_t jlo, uint32_t jhi, uint32_t deg,
+                  parallel::emitter<vertex_id>& em) -> uint32_t {
+                const vertex_id v = frontier[fi];
+                // Same register-hoisting discipline as phase 1.
+                packed_pair* const cl = C.data();
+                vertex_id* const ed = E.data();
+                const vertex_id my_label = pair_second(cl[v]);
+                const uint32_t my_frac = frac_of(my_label);
+                const packed_pair winning = pack_pair(my_frac, my_label);
+                const edge_id start = V[v];
+                uint32_t k = jlo;
+                for (uint32_t i = jlo; i < jhi; ++i) {
+                  const vertex_id w = ed[start + i];
+                  if (!internal::is_marked(w)) {
+                    // Our cluster won w iff C[w] still holds our
+                    // (frac, label); the CAS ensures only one frontier
+                    // vertex of the cluster collects w (several may share
+                    // the same winning pair).
+                    if (atomic_load(&cl[w]) == winning &&
+                        cas(&cl[w], winning,
+                            pack_pair(kVisitedFrac, my_label))) {
+                      em(w);
+                      // Intra-cluster edge: deleted.
+                    } else {
+                      const vertex_id w_label =
+                          pair_second(atomic_load(&cl[w]));
+                      if (w_label != my_label) {
+                        // lint: private-write(piece owns slots [jlo, jhi))
+                        ed[start + k] = internal::mark_edge(w_label);
+                        ++k;
+                      }
+                    }
+                  } else {
+                    // lint: private-write(piece owns slots [jlo, jhi) of v)
+                    ed[start + k] = w;  // resolved in phase 1, keep as-is
+                    ++k;
+                  }
+                }
+                if (jlo == 0 && jhi == deg) {
+                  // lint: private-write(whole-vertex piece: sole writer)
+                  D[v] = k;
+                }
+                return k - jlo;
+              });
+      parallel::fix_split_pieces(run.partials, slide, publish);
+      next_size = run.emitted;
+    }
     std::swap(frontier, next);
     frontier_size = next_size;
     if (pt != nullptr) pt->add("bfsPhase2", t.lap());

@@ -48,13 +48,11 @@ struct options {
   // decomp_arb_hybrid switches to the read-based (dense) traversal when the
   // frontier holds more than this fraction of the vertices (paper: 20%).
   double dense_threshold = 0.2;
-  // Section 4 of the paper: "for high-degree vertices... the inner
-  // sequential for-loops over the neighbours can be replaced with a
-  // parallel for-loop, marking the deleted edges with a special value and
-  // packing the edges with a parallel prefix sums". Frontier vertices with
-  // degree above this threshold take that path in decomp_arb. Default off
-  // (the paper saw no improvement at 40 cores); exposed for wide machines
-  // and covered by the ablation bench.
+  // Historical (retained for API compatibility, now ignored): the
+  // Section-4 per-hub edge-parallel path. Every round is now edge-balanced
+  // unconditionally — frontier_edge_for (parallel/emit.hpp) partitions the
+  // flattened edge space into near-equal chunks, so hubs are split across
+  // workers at every degree, which subsumes this threshold.
   size_t parallel_edge_threshold = SIZE_MAX;
 };
 

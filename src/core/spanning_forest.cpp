@@ -12,6 +12,7 @@
 #include "core/ldd_internal.hpp"
 #include "parallel/arena.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/emit.hpp"
 #include "parallel/hash_map.hpp"
 #include "parallel/integer_sort.hpp"
 #include "parallel/scheduler.hpp"
@@ -23,7 +24,6 @@ namespace {
 
 using parallel::atomic_load;
 using parallel::cas;
-using parallel::fetch_add;
 using parallel::parallel_for;
 
 inline uint64_t pack_witness(graph::edge e) {
@@ -62,9 +62,18 @@ witness_graph level0(const graph::graph& g) {
   return wg;
 }
 
+// A claim made during one BFS round: the claimed vertex (joins the next
+// frontier) and the witness of the claiming edge (joins the forest).
+struct claim_rec {
+  vertex_id w;
+  uint64_t witness;
+};
+
 // Decomp-Arb over a witness graph. Claim edges contribute their witnesses
 // to `forest`; kept inter-cluster edges are compacted in place (targets
-// relabeled to cluster ids, witnesses carried).
+// relabeled to cluster ids, witnesses carried). Rounds are edge-balanced
+// via frontier_edge_for: claims are emitted contention-free in flattened
+// edge order, and a hub's adjacency is compacted piece-wise.
 ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
                           std::vector<uint64_t>& forest) {
   const size_t n = wg.n;
@@ -77,11 +86,10 @@ ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
   ldd::internal::shift_schedule schedule(n, opt, ws);
   std::span<vertex_id> frontier = ws.take<vertex_id>(n);
   std::span<vertex_id> next = ws.take<vertex_id>(n);
+  // Claim records: at most n claims happen in one decomposition (each
+  // vertex is claimed once).
+  std::span<claim_rec> claims = ws.take<claim_rec>(n);
   size_t frontier_size = 0;
-  // Claim-edge witnesses, collected race-free: at most n claims happen in
-  // one decomposition (each vertex is claimed once).
-  std::vector<uint64_t> claims(n);
-  size_t num_claims = 0;
 
   size_t num_visited = 0;
   size_t round = 0;
@@ -95,33 +103,66 @@ ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
     num_visited += frontier_size;
 
     size_t next_size = 0;
-    parallel_for(0, frontier_size, [&](size_t fi) {
-      const vertex_id v = frontier[fi];
-      const vertex_id my_label = C[v];
-      const edge_id start = wg.offsets[v];
-      vertex_id k = 0;
-      const vertex_id deg = wg.degrees[v];
-      for (vertex_id i = 0; i < deg; ++i) {
-        const vertex_id w = wg.targets[start + i];
-        if (atomic_load(&C[w]) == kNoVertex &&
-            cas(&C[w], kNoVertex, my_label)) {
-          next[fetch_add<size_t>(&next_size, 1)] = w;
-          // Claim edge: a BFS-tree edge of this cluster. Its witness is an
-          // original edge and joins the forest.
-          claims[fetch_add<size_t>(&num_claims, 1)] = wg.witness[start + i];
-        } else {
-          const vertex_id w_label = atomic_load(&C[w]);
-          if (w_label != my_label) {
-            // lint: private-write(v owns its CSR slice [start, start+deg))
-            wg.targets[start + k] = w_label;
-            // lint: private-write(same per-v CSR slice invariant)
-            wg.witness[start + k] = wg.witness[start + i];
-            ++k;
-          }
-        }
-      }
-      // lint: private-write(frontier holds distinct vertices)
-      wg.degrees[v] = k;
+    {
+      parallel::workspace::scope round_scope(ws);
+      const parallel::frontier_result run =
+          parallel::frontier_edge_for<claim_rec>(
+              frontier_size,
+              [&](size_t fi) { return wg.degrees[frontier[fi]]; }, claims, ws,
+              [&](size_t fi, uint32_t jlo, uint32_t jhi, uint32_t deg,
+                  parallel::emitter<claim_rec>& em) -> uint32_t {
+                const vertex_id v = frontier[fi];
+                const vertex_id my_label = C[v];
+                const edge_id start = wg.offsets[v];
+                uint32_t k = jlo;
+                for (uint32_t i = jlo; i < jhi; ++i) {
+                  const vertex_id w = wg.targets[start + i];
+                  if (atomic_load(&C[w]) == kNoVertex &&
+                      cas(&C[w], kNoVertex, my_label)) {
+                    // Claim edge: a BFS-tree edge of this cluster. Its
+                    // witness is an original edge and joins the forest.
+                    em({w, wg.witness[start + i]});
+                  } else {
+                    const vertex_id w_label = atomic_load(&C[w]);
+                    if (w_label != my_label) {
+                      // lint: private-write(piece owns slots [jlo, jhi) of v)
+                      wg.targets[start + k] = w_label;
+                      // lint: private-write(same piece-subrange invariant)
+                      wg.witness[start + k] = wg.witness[start + i];
+                      ++k;
+                    }
+                  }
+                }
+                if (jlo == 0 && jhi == deg) {
+                  // lint: private-write(whole-vertex piece: sole writer)
+                  wg.degrees[v] = k;
+                }
+                return k - jlo;
+              });
+      parallel::fix_split_pieces(
+          run.partials,
+          [&](uint32_t fi, uint32_t dst, uint32_t src, uint32_t len) {
+            const edge_id start = wg.offsets[frontier[fi]];
+            std::copy(wg.targets.begin() + start + src,
+                      wg.targets.begin() + start + src + len,
+                      wg.targets.begin() + start + dst);
+            std::copy(wg.witness.begin() + start + src,
+                      wg.witness.begin() + start + src + len,
+                      wg.witness.begin() + start + dst);
+          },
+          [&](uint32_t fi, uint32_t kept) {
+            // lint: private-write(one leader task per split vertex)
+            wg.degrees[frontier[fi]] = kept;
+          });
+      next_size = run.emitted;
+    }
+    const size_t forest_base = forest.size();
+    forest.resize(forest_base + next_size);
+    parallel_for(0, next_size, [&](size_t i) {
+      // lint: private-write(iteration i owns slot i of both outputs)
+      next[i] = claims[i].w;
+      // lint: private-write(iteration i owns slot forest_base + i)
+      forest[forest_base + i] = claims[i].witness;
     });
     std::swap(frontier, next);
     frontier_size = next_size;
@@ -130,7 +171,6 @@ ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
   res.num_rounds = round;
   res.edges_kept = parallel::reduce_sum<size_t>(
       n, [&](size_t v) { return wg.degrees[v]; });
-  forest.insert(forest.end(), claims.begin(), claims.begin() + num_claims);
   return res;
 }
 
@@ -213,22 +253,29 @@ std::vector<graph::edge> spanning_forest(const graph::graph& g,
 
     witness_graph next;
     next.n = k;
-    next.offsets.assign(k + 1, 0);
+    next.offsets.resize(k + 1);
     next.targets.resize(pairs.size());
     next.witness.resize(pairs.size());
-    next.degrees.assign(k, 0);
+    next.degrees.resize(k);
     parallel_for(0, pairs.size(), [&](size_t i) {
-      const vertex_id src = static_cast<vertex_id>(pairs[i].first >> 32);
+      // lint: private-write(iteration i owns slot i of both arrays)
       next.targets[i] = static_cast<vertex_id>(pairs[i].first);
       next.witness[i] = pairs[i].second;
-      fetch_add<vertex_id>(&next.degrees[src], 1);
     });
-    std::vector<size_t> offs;
-    parallel::scan_exclusive_into(
-        k, [&](size_t v) { return static_cast<size_t>(next.degrees[v]); },
-        offs);
-    parallel_for(0, k, [&](size_t v) { next.offsets[v] = offs[v]; });
-    next.offsets[k] = pairs.size();
+    // The pairs are sorted by (src, tgt), so each vertex's CSR offset is a
+    // binary search for its first pair — no shared degree counters.
+    parallel_for(0, k + 1, [&](size_t v) {
+      const auto it = std::lower_bound(
+          pairs.begin(), pairs.end(), v,
+          [](const auto& p, size_t vv) { return (p.first >> 32) < vv; });
+      // lint: private-write(iteration v owns slot v)
+      next.offsets[v] = static_cast<edge_id>(it - pairs.begin());
+    });
+    parallel_for(0, k, [&](size_t v) {
+      // lint: private-write(iteration v owns slot v)
+      next.degrees[v] =
+          static_cast<vertex_id>(next.offsets[v + 1] - next.offsets[v]);
+    });
     wg = std::move(next);
   }
 

@@ -4,10 +4,13 @@
 // return the subset of destinations d for which some update returned true
 // (each destination appears once). Two executions:
 //
-//   sparse (push): parallel over U's out-edges; `update` runs concurrently
-//     and MUST be atomic — it must return true at most once per destination
-//     (e.g. a CAS-guarded write), which is what keeps the output duplicate
-//     free.
+//   sparse (push): parallel over U's out-edges, edge-balanced via
+//     frontier_edge_for (a hub's adjacency is split across chunks);
+//     `update` runs concurrently and MUST be atomic — it must return true
+//     at most once per destination (e.g. a CAS-guarded write), which is
+//     what keeps the output duplicate free. Accepted destinations are
+//     emitted block-locally (no shared cursor), so the output order is the
+//     flattened edge order — deterministic given a deterministic update.
 //   dense (pull): parallel over all vertices d with cond(d) true, scanning
 //     d's in-neighbours for frontier members; `update` runs sequentially
 //     per destination, and the scan early-exits as soon as cond(d) turns
@@ -17,6 +20,11 @@
 // options::dense_threshold of the vertices — the criterion the paper uses
 // (20%). The graph must store both edge directions (undirected CSR), so
 // in-neighbours equal out-neighbours.
+//
+// The workspace-taking overload keeps every O(n) intermediate (membership
+// flags, dense output flags, emission staging) in the caller's arena; the
+// returned subset allocates only its member list. The workspace-free
+// overload exists for one-shot callers and tests.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,7 @@
 #include "graph/graph.hpp"
 #include "graph/vertex_subset.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/emit.hpp"
 
 namespace pcc::graph {
 
@@ -37,7 +46,7 @@ struct edge_map_options {
 
 template <typename Update, typename Cond>
 vertex_subset edge_map(const graph& g, const vertex_subset& frontier,
-                       Update&& update, Cond&& cond,
+                       Update&& update, Cond&& cond, parallel::workspace& ws,
                        const edge_map_options& opt = {}) {
   const size_t n = g.num_vertices();
   const bool go_dense =
@@ -45,42 +54,74 @@ vertex_subset edge_map(const graph& g, const vertex_subset& frontier,
       (opt.force == edge_map_options::mode::kAuto &&
        frontier.density() > opt.dense_threshold);
 
+  parallel::workspace::scope s(ws);
   if (go_dense) {
-    const std::vector<uint8_t>& on = frontier.dense();
-    std::vector<uint8_t> out(n, 0);
+    // Frontier membership flags: reuse the frontier's dense view if it
+    // already exists, otherwise build one in scratch (don't trigger the
+    // subset's own cached O(n) allocation).
+    std::span<const uint8_t> on;
+    if (frontier.dense_ready()) {
+      on = frontier.dense();
+    } else {
+      std::span<uint8_t> flags = ws.take_zeroed<uint8_t>(n);
+      const std::vector<vertex_id>& members = frontier.sparse();
+      parallel::parallel_for(0, members.size(), [&](size_t i) {
+        // lint: private-write(members holds distinct vertex ids)
+        flags[members[i]] = 1;
+      });
+      on = flags;
+    }
+    std::span<uint8_t> hit = ws.take_zeroed<uint8_t>(n);
     parallel::parallel_for(0, n, [&](size_t di) {
       const vertex_id d = static_cast<vertex_id>(di);
       if (!cond(d)) return;
-      for (vertex_id s : g.neighbors(d)) {
-        if (on[s] && update(s, d)) {
-          // lint: private-write(d == di: only iteration di writes out[d])
-          out[d] = 1;
+      for (vertex_id s_id : g.neighbors(d)) {
+        if (on[s_id] && update(s_id, d)) {
+          // lint: private-write(d == di: only iteration di writes hit[d])
+          hit[d] = 1;
           if (!cond(d)) break;  // early exit once d is settled
         }
       }
     });
-    return vertex_subset::from_dense(std::move(out));
+    std::span<vertex_id> ids = ws.take<vertex_id>(n);
+    const size_t count = parallel::pack_index_span<vertex_id>(
+        n, [&](size_t v) { return hit[v] != 0; }, ids, ws);
+    return vertex_subset::from_sparse(
+        n, std::vector<vertex_id>(ids.begin(), ids.begin() + count));
   }
 
-  // Sparse: push along out-edges. The output holds one slot per frontier
-  // out-edge (as in Ligra): an update relation that can fire several times
-  // for one destination in a round (e.g. successive writeMin improvements)
-  // then yields benign duplicates rather than overflowing.
+  // Sparse: push along out-edges, edge-balanced. The staging holds one slot
+  // per frontier out-edge (as in Ligra): an update relation that can fire
+  // several times for one destination in a round (e.g. successive writeMin
+  // improvements) then yields benign duplicates rather than overflowing.
   const std::vector<vertex_id>& members = frontier.sparse();
-  const size_t out_degree = parallel::reduce_sum<size_t>(
-      members.size(), [&](size_t i) { return g.degree(members[i]); });
-  std::vector<vertex_id> out(out_degree);
-  size_t out_size = 0;
-  parallel::parallel_for(0, members.size(), [&](size_t i) {
-    const vertex_id s = members[i];
-    for (vertex_id d : g.neighbors(s)) {
-      if (cond(d) && update(s, d)) {
-        out[parallel::fetch_add<size_t>(&out_size, 1)] = d;
-      }
-    }
-  });
-  out.resize(out_size);
-  return vertex_subset::from_sparse(n, std::move(out));
+  const size_t out_degree = parallel::reduce_sum_ws<size_t>(
+      members.size(), [&](size_t i) { return g.degree(members[i]); }, ws);
+  std::span<vertex_id> out = ws.take<vertex_id>(out_degree);
+  const parallel::frontier_result run = parallel::frontier_edge_for<vertex_id>(
+      members.size(), [&](size_t fi) { return g.degree(members[fi]); }, out,
+      ws,
+      [&](size_t fi, uint32_t jlo, uint32_t jhi, uint32_t,
+          parallel::emitter<vertex_id>& em) -> uint32_t {
+        const vertex_id s_id = members[fi];
+        const std::span<const vertex_id> nbrs = g.neighbors(s_id);
+        for (uint32_t i = jlo; i < jhi; ++i) {
+          const vertex_id d = nbrs[i];
+          if (cond(d) && update(s_id, d)) em(d);
+        }
+        return 0;
+      });
+  return vertex_subset::from_sparse(
+      n, std::vector<vertex_id>(out.begin(), out.begin() + run.emitted));
+}
+
+// Workspace-free convenience overload for one-shot callers and tests.
+template <typename Update, typename Cond>
+vertex_subset edge_map(const graph& g, const vertex_subset& frontier,
+                       Update&& update, Cond&& cond,
+                       const edge_map_options& opt = {}) {
+  parallel::workspace ws;
+  return edge_map(g, frontier, update, cond, ws, opt);
 }
 
 // vertex_map: apply f to every member of the subset; returns the members

@@ -72,6 +72,12 @@ class vertex_subset {
   size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
 
+  // Which views exist without materialization — lets workspace-backed
+  // callers (edge_map) build the missing view in scratch storage instead
+  // of triggering the cached O(n) allocation here.
+  bool sparse_ready() const { return has_sparse_; }
+  bool dense_ready() const { return has_dense_; }
+
   // Fraction of the universe on the frontier (the dense/sparse switch
   // criterion; the paper switches above 20%).
   double density() const {

@@ -84,6 +84,14 @@ inline T fetch_add(T* loc, T delta) {
   return std::atomic_ref<T>(*loc).fetch_add(delta, std::memory_order_acq_rel);
 }
 
+// Atomic fetch-or; returns the previous value. Used to set bits in shared
+// bitmap words (e.g. a bit-packed frontier) where several writers may hit
+// the same word with different masks.
+template <typename T>
+inline T fetch_or(T* loc, T bits) {
+  return std::atomic_ref<T>(*loc).fetch_or(bits, std::memory_order_acq_rel);
+}
+
 // --- Packed (key, value) pairs for the pair-writeMin of Decomp-Min. ---
 //
 // Decomp-Min (Algorithm 2) keeps per-vertex pairs C[v] = (c1, c2) where c1

@@ -12,14 +12,24 @@ rules inside parallel regions (the lambda bodies passed to
       is flagged unless one of:
         * the statement goes through an ``atomics.hpp`` helper
           (``cas``/``write_min``/``write_max``/``write_once``/``read_once``/
-          ``atomic_load``/``atomic_store``/``fetch_add``), e.g. the
-          canonical atomic-index scatter ``next[fetch_add(&k, 1)] = w;``;
+          ``atomic_load``/``atomic_store``/``fetch_add``/``fetch_or``);
         * the write is owner-indexed: ``arr[i] = ...`` where ``i`` is
           exactly the innermost lambda's loop parameter (distinct
           invocations get distinct ``i``, so the writes are disjoint);
         * the line (or the comment line directly above) carries
           ``// lint: private-write(<reason>)`` stating the disjointness
           invariant.
+
+  shared-cursor-emission
+      The atomic-index scatter ``out[fetch_add(&cursor, 1)] = x;`` inside a
+      parallel region. The store itself is race-free, but every emitting
+      task contends on one cache line and the output order depends on the
+      scheduler — nondeterministic across runs and thread counts. Checked
+      *before* the atomic-helper waiver above (the helper is exactly what
+      makes the pattern tempting). Use ``parallel::emit_pack`` /
+      ``parallel::count_then_emit`` / ``parallel::frontier_edge_for``
+      (parallel/emit.hpp): block-local staging + an exclusive scan place
+      the same elements contention-free and in deterministic order.
 
   std-function-in-parallel
       ``std::function`` inside a parallel region (type-erased callables
@@ -73,6 +83,9 @@ ATOMIC_HELPERS = {
     "atomic_store",
     "fetch_add",
     "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
     "compare_exchange_strong",
     "compare_exchange_weak",
     "exchange",
@@ -592,8 +605,23 @@ def check_lambda(path: str, tokens: list[Token], lam: Lambda,
                 continue
             if is_sub and len(idx_toks) == 1 and idx_toks[0] in lam.params:
                 continue  # owner-indexed write: disjoint by construction
+            if is_sub and "fetch_add" in idx_toks:
+                # `out[fetch_add(&cursor, 1)] = x`: race-free but contended
+                # and order-nondeterministic. Checked before the atomic-
+                # helper waiver — the helper is what makes it tempting.
+                if not markers.waives("shared-cursor-emission", line):
+                    findings.append(Finding(
+                        path, line, "shared-cursor-emission",
+                        "shared-cursor emission: subscript computed with "
+                        "fetch_add on a shared cursor. All emitters contend "
+                        "on one counter and the output order depends on the "
+                        "scheduler. Use emit_pack / count_then_emit / "
+                        "frontier_edge_for (parallel/emit.hpp) for "
+                        "contention-free, deterministic placement",
+                    ))
+                continue
             if stmt_has_atomic_helper(stmt_lo, stmt_hi):
-                continue  # atomic-index scatter or helper-mediated write
+                continue  # helper-mediated write (cas / write_min / ...)
             if markers.waives("raw-captured-write", line):
                 continue
             what = f"`{base}`" if base is not None else "a dereference"

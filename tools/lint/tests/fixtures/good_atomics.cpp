@@ -19,15 +19,16 @@ T fetch_add(T*, T);
 void disciplined(std::span<unsigned> C, std::span<unsigned> next,
                  std::span<unsigned char> flags) {
   using namespace pcc::parallel;
-  size_t next_size = 0;
+  size_t claimed = 0;
   parallel_for(0, C.size(), [&](size_t v) {
     C[v] = 0;  // owner-indexed: the loop parameter is the only writer of v
     if (cas(&C[v], 0u, 1u)) {
-      next[fetch_add<size_t>(&next_size, 1)] = static_cast<unsigned>(v);
+      fetch_add<size_t>(&claimed, 1);  // plain counter: no subscript
     }
     write_min(&C[v], 5u);
     write_once(&flags[v], static_cast<unsigned char>(1));
   });
+  next[0] = static_cast<unsigned>(claimed);
 }
 
 void locals_are_fine(std::span<const unsigned> in, std::span<unsigned> out) {

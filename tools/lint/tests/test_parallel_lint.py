@@ -49,6 +49,22 @@ class RawStoreTests(unittest.TestCase):
                          msg="\n".join(f.render() for f in findings))
 
 
+class SharedCursorTests(unittest.TestCase):
+    def test_catches_cursor_scatters(self):
+        findings = lint("bad_shared_cursor.cpp")
+        cursor = [f for f in findings if f.rule == "shared-cursor-emission"]
+        # Two scatters; the waived one must not appear.
+        self.assertEqual(
+            len(cursor), 2, msg="\n".join(f.render() for f in findings))
+        self.assertEqual(rules(findings), ["shared-cursor-emission"] * 2)
+        self.assertTrue(all("emit_pack" in f.message for f in cursor))
+
+    def test_emit_pack_replacement_is_clean(self):
+        findings = lint("good_emit_pack.cpp")
+        self.assertEqual(findings, [],
+                         msg="\n".join(f.render() for f in findings))
+
+
 class BannedConstructTests(unittest.TestCase):
     def test_catches_std_function_rand_and_static(self):
         findings = lint("bad_banned_constructs.cpp")
@@ -142,12 +158,26 @@ class IdiomTests(unittest.TestCase):
         " bool cas(T*, T, T); }\n"
     )
 
-    def test_atomic_index_scatter_is_clean(self):
+    def test_atomic_index_scatter_is_shared_cursor_emission(self):
+        # The old "canonical" emission idiom: race-free, but contended and
+        # order-nondeterministic — now flagged with a pointer at emit_pack.
         findings = self._lint_source(self.PRELUDE + """
 void f(unsigned* next, unsigned long* next_size) {
   parallel_for(0, 4, [&](unsigned long i) {
     next[pcc::parallel::fetch_add<unsigned long>(next_size, 1ul)] =
         static_cast<unsigned>(i);
+  });
+}
+""")
+        self.assertEqual(rules(findings), ["shared-cursor-emission"])
+        self.assertIn("emit_pack", findings[0].message)
+
+    def test_plain_fetch_add_counter_is_clean(self):
+        # fetch_add as a counter (no subscript) is still fine.
+        findings = self._lint_source(self.PRELUDE + """
+void f(unsigned long* total) {
+  parallel_for(0, 4, [&](unsigned long i) {
+    pcc::parallel::fetch_add<unsigned long>(total, i);
   });
 }
 """)
