@@ -36,6 +36,7 @@ int main() {
       {"decomp-arb-hybrid-CC",
        [](const graph::graph& g) {
          cc::cc_options opt;
+         opt.algorithm = "decomp";
          return cc::connected_components(g, opt);
        },
        false},

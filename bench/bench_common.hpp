@@ -109,6 +109,9 @@ struct bench_record {
   std::string kernel;  // kernel / implementation name
   std::string graph;   // input id ("random", "n=16384", ...)
   time_stats stats;
+  // Registered algorithm that actually ran (for "auto" rows, the
+  // selector's pick). Defaults to `kernel` in the JSON when empty.
+  std::string algorithm;
 };
 
 inline std::string json_escape(const std::string& s) {
@@ -142,8 +145,11 @@ inline void write_bench_json(const std::string& default_path,
     const bench_record& r = records[i];
     std::fprintf(f,
                  "    {\"kernel\": \"%s\", \"graph\": \"%s\", "
+                 "\"algorithm\": \"%s\", "
                  "\"median_s\": %.9g, \"min_s\": %.9g, \"reps\": %d}%s\n",
                  json_escape(r.kernel).c_str(), json_escape(r.graph).c_str(),
+                 json_escape(r.algorithm.empty() ? r.kernel : r.algorithm)
+                     .c_str(),
                  r.stats.median_s, r.stats.min_s, r.stats.reps,
                  i + 1 < records.size() ? "," : "");
   }
@@ -154,37 +160,49 @@ inline void write_bench_json(const std::string& default_path,
 }
 
 // All connectivity implementations, ours and baselines, keyed by the names
-// used in Table 2 of the paper.
+// used in Table 2 of the paper; `algorithm` is the cc::algorithm registry
+// name the row resolves to.
 struct cc_impl {
   std::string name;
+  std::string algorithm;
   bool parallel;  // false for serial-SF (no parallel column)
   std::function<std::vector<vertex_id>(const graph::graph&)> run;
 };
 
-inline std::vector<cc_impl> table2_implementations() {
-  // Each decomp impl owns one cc_engine shared across every graph and
-  // trial, so the timed region excludes per-level allocation after the
-  // first (warm-up) trial — the measurement the paper's repeated-trials
-  // protocol wants.
-  const auto decomp = [](cc::decomp_variant v) {
+// A registry entry as a vector-returning closure. Each impl owns one
+// algo_workspace shared across every graph and trial, so the timed region
+// excludes transient allocation after the first (warm-up) trial — the
+// measurement the paper's repeated-trials protocol wants.
+inline std::function<std::vector<vertex_id>(const graph::graph&)>
+registry_runner(const std::string& algorithm) {
+  const cc::algorithm* algo = cc::find_algorithm(algorithm);
+  if (algo == nullptr) {
+    std::fprintf(stderr, "bench: unknown algorithm %s\n", algorithm.c_str());
+    std::abort();
+  }
+  return [algo, ws = std::make_shared<cc::algo_workspace>()](
+             const graph::graph& g) {
     cc::cc_options opt;
-    opt.variant = v;
     opt.beta = 0.2;
-    return [engine = std::make_shared<cc::cc_engine>(opt)](
-               const graph::graph& g) {
-      const std::span<const vertex_id> labels = engine->run(g);
-      return std::vector<vertex_id>(labels.begin(), labels.end());
-    };
+    std::vector<vertex_id> labels(g.num_vertices());
+    cc::run_algorithm(*algo, g, opt, *ws, labels);
+    return labels;
+  };
+}
+
+inline std::vector<cc_impl> table2_implementations() {
+  const auto row = [](const char* name, const char* algorithm, bool parallel) {
+    return cc_impl{name, algorithm, parallel, registry_runner(algorithm)};
   };
   return {
-      {"serial-SF", false, &baselines::serial_sf_components},
-      {"decomp-arb-CC", true, decomp(cc::decomp_variant::kArb)},
-      {"decomp-arb-hybrid-CC", true, decomp(cc::decomp_variant::kArbHybrid)},
-      {"decomp-min-CC", true, decomp(cc::decomp_variant::kMin)},
-      {"parallel-SF-PBBS", true, &baselines::parallel_sf_pbbs_components},
-      {"parallel-SF-PRM", true, &baselines::parallel_sf_prm_components},
-      {"hybrid-BFS-CC", true, &baselines::hybrid_bfs_components},
-      {"multistep-CC", true, &baselines::multistep_components},
+      row("serial-SF", "serial-sf", false),
+      row("decomp-arb-CC", "decomp-arb", true),
+      row("decomp-arb-hybrid-CC", "decomp-arb-hybrid", true),
+      row("decomp-min-CC", "decomp-min", true),
+      row("parallel-SF-PBBS", "parallel-sf-pbbs", true),
+      row("parallel-SF-PRM", "parallel-sf-prm", true),
+      row("hybrid-BFS-CC", "hybrid-bfs", true),
+      row("multistep-CC", "multistep", true),
   };
 }
 

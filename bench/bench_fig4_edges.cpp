@@ -41,6 +41,7 @@ int main() {
                 "remaining edges after each iteration (iteration 0 = input)");
     for (double beta : betas) {
       cc::cc_options opt;
+      opt.algorithm = "decomp";
       opt.variant = cc::decomp_variant::kArbHybrid;
       opt.beta = beta;
       cc::cc_stats stats;

@@ -27,6 +27,7 @@ void print_breakdown(const std::string& title, cc::decomp_variant variant,
   std::printf(" %12s %8s\n", "total", "bfs%");
   for (const auto& [gname, g] : suite) {
     cc::cc_options opt;
+    opt.algorithm = "decomp";
     opt.variant = variant;
     opt.beta = 0.2;
     cc::cc_stats stats;

@@ -83,6 +83,7 @@ int main() {
 
   parallel::timer t;
   cc::cc_options opt;
+  opt.algorithm = "decomp";
   opt.variant = cc::decomp_variant::kArbHybrid;
   const std::vector<vertex_id> labels = cc::connected_components(g, opt);
   std::printf("labeled in %.4fs\n", t.elapsed());

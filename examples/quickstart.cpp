@@ -32,6 +32,7 @@ int main() {
   const graph::graph big = graph::random_graph(200000, 5, /*seed=*/1);
 
   cc::cc_options opt;
+  opt.algorithm = "decomp";
   opt.variant = cc::decomp_variant::kArbHybrid;  // fastest variant
   opt.beta = 0.2;                                // the paper's sweet spot
   opt.seed = 42;

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
 
   // Label with the fastest decomposition variant.
   cc::cc_options opt;
+  opt.algorithm = "decomp";
   opt.variant = cc::decomp_variant::kArbHybrid;
   parallel::timer t;
   const auto labels = cc::connected_components(g, opt);

@@ -80,6 +80,7 @@ int main() {
 
   parallel::timer t;
   cc::cc_options opt;
+  opt.algorithm = "decomp";
   opt.beta = 0.1;
   const auto nets = cc::connected_components(g, opt);
   std::printf("net extraction: %zu electrical nets in %.4fs\n",

@@ -12,10 +12,11 @@
 // vertices whose representative is not c — the bulk of the edge list is
 // never touched.
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "baselines/baselines.hpp"
 #include "baselines/rem_union_find.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/random.hpp"
 #include "parallel/scheduler.hpp"
 
@@ -28,10 +29,13 @@ constexpr size_t kSampleSize = 1024;
 
 }  // namespace
 
-std::vector<vertex_id> afforest_components(const graph::graph& g) {
+void afforest_into(const graph::graph& g, uint64_t seed,
+                   parallel::workspace& ws, std::span<vertex_id> labels) {
   const size_t n = g.num_vertices();
-  parallel_rem_union_find uf(n);
-  if (n == 0) return {};
+  if (n == 0) return;
+  parallel::workspace::scope scope(ws);
+  rem_view uf(labels, ws.take<uint8_t>(n));
+  uf.init();
 
   // Phase 1: neighbour rounds.
   for (size_t r = 0; r < kNeighborRounds; ++r) {
@@ -42,33 +46,46 @@ std::vector<vertex_id> afforest_components(const graph::graph& g) {
     });
   }
 
-  // Identify the (probable) giant component from a vertex sample.
-  auto labels = uf.flatten();
-  const parallel::rng gen(0xAFF0);
-  std::unordered_map<vertex_id, size_t> counts;
-  for (size_t s = 0; s < kSampleSize; ++s) {
-    ++counts[labels[gen.bounded(s, n)]];
-  }
-  vertex_id giant = labels[0];
+  // Identify the (probable) giant component from a vertex sample. The
+  // snapshot of representatives also serves as phase 2's membership test.
+  std::span<vertex_id> reps = ws.take<vertex_id>(n);
+  uf.flatten_into(reps);
+  const size_t samples = std::min(kSampleSize, n);
+  std::span<vertex_id> sample = ws.take<vertex_id>(samples);
+  const parallel::rng gen(seed);
+  for (size_t s = 0; s < samples; ++s) sample[s] = reps[gen.bounded(s, n)];
+  // Mode of a 1K sample: sort + longest run (no hash map, no allocation).
+  std::sort(sample.begin(), sample.end());
+  vertex_id giant = sample[0];
   size_t giant_count = 0;
-  for (const auto& [rep, c] : counts) {
-    if (c > giant_count) {
-      giant = rep;
-      giant_count = c;
+  for (size_t i = 0; i < samples;) {
+    size_t j = i;
+    while (j < samples && sample[j] == sample[i]) ++j;
+    if (j - i > giant_count) {
+      giant_count = j - i;
+      giant = sample[i];
     }
+    i = j;
   }
 
   // Phase 2: finish the stragglers — vertices not yet in the giant set
   // process their remaining (un-sampled) edges.
   parallel::parallel_for(0, n, [&](size_t vi) {
     const vertex_id v = static_cast<vertex_id>(vi);
-    if (labels[v] == giant) return;
+    if (reps[v] == giant) return;
     const auto nbrs = g.neighbors(v);
     for (size_t i = kNeighborRounds; i < nbrs.size(); ++i) {
       uf.unite(v, nbrs[i]);
     }
   });
-  return uf.flatten();
+  uf.flatten_into(labels);
+}
+
+std::vector<vertex_id> afforest_components(const graph::graph& g) {
+  std::vector<vertex_id> labels(g.num_vertices());
+  parallel::workspace ws;
+  afforest_into(g, /*seed=*/0xAFF0, ws, labels);
+  return labels;
 }
 
 }  // namespace pcc::baselines

@@ -4,46 +4,57 @@
 // pcc::cc::connected_components: equal labels iff same component). None of
 // these algorithms is work-efficient with polylogarithmic depth — that is
 // the paper's point — but they are the fastest practical codes it compares
-// against:
+// against.
 //
-//   serial_sf_components      — sequential union-find spanning forest
-//                               (serial-SF; PBBS's sequential baseline).
-//   parallel_sf_prm_components— lock-based multicore union-find spanning
-//                               forest in the style of Patwary, Refsnes,
-//                               Manne (IPDPS'12) (parallel-SF-PRM).
-//   parallel_sf_pbbs_components — deterministic-reservations spanning
-//                               forest as in PBBS (parallel-SF-PBBS).
-//   hybrid_bfs_components     — direction-optimizing BFS run on each
-//                               component one by one (hybrid-BFS-CC,
-//                               Ligra-style).
-//   multistep_components      — Slota, Rajamanickam, Madduri (IPDPS'14):
-//                               one parallel BFS for the largest component,
-//                               label propagation for the rest
-//                               (multistep-CC).
-//   label_prop_components     — pure label propagation (the graph-systems
-//                               baseline the paper discusses; diameter-
-//                               bounded depth, not work-efficient).
-//   shiloach_vishkin_components — classic O(m log n) hook-and-shortcut
-//                               (the textbook non-work-efficient PRAM
-//                               algorithm, for reference).
+// All of them are registered in the cc::algorithm registry (core/
+// registry.hpp); the free functions below are kept as thin wrappers for
+// API compatibility. The `_into` variants write into caller-provided
+// storage and draw scratch from a workspace, so registry-driven repeated
+// runs stay allocation-free after warm-up.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "parallel/arena.hpp"
 
 namespace pcc::baselines {
 
+// --- Union-find spanning forests ---------------------------------------
+// serial-SF: sequential union-find spanning forest (PBBS's sequential
+// baseline), and the Rem's-algorithm variant Patwary et al.'s serial code
+// prefers (the paper's Table 2 footnote picks it on two inputs).
 std::vector<vertex_id> serial_sf_components(const graph::graph& g);
-// Sequential spanning forest on Rem's algorithm (Patwary et al.'s serial
-// code, which the paper's Table 2 footnote prefers on two inputs).
 std::vector<vertex_id> serial_sf_rem_components(const graph::graph& g);
+// Rem's sequential splicing walk directly over caller storage; labels
+// become each component's minimum vertex id (canonical).
+void serial_sf_rem_into(const graph::graph& g, std::span<vertex_id> parent);
+// parallel-SF-PRM: lock-based multicore union-find spanning forest in the
+// style of Patwary, Refsnes, Manne (IPDPS'12).
 std::vector<vertex_id> parallel_sf_prm_components(const graph::graph& g);
+// parallel-SF-PBBS: deterministic-reservations spanning forest as in PBBS.
 std::vector<vertex_id> parallel_sf_pbbs_components(const graph::graph& g);
+// Lock-based parallel Rem's algorithm (the union-find variant inside the
+// PRM study; see rem_union_find.hpp).
+std::vector<vertex_id> parallel_sf_rem_components(const graph::graph& g);
+void parallel_sf_rem_into(const graph::graph& g, parallel::workspace& ws,
+                          std::span<vertex_id> labels);
+
+// --- BFS / propagation families -----------------------------------------
+// hybrid-BFS-CC: direction-optimizing BFS run on each component one by one
+// (Ligra-style). The `_into` flavour lives in bfs.hpp next to its scratch.
 std::vector<vertex_id> hybrid_bfs_components(const graph::graph& g);
+// multistep-CC: Slota, Rajamanickam, Madduri (IPDPS'14) — one parallel BFS
+// for the largest component, label propagation for the rest.
 std::vector<vertex_id> multistep_components(const graph::graph& g);
+// Pure label propagation (the graph-systems baseline the paper discusses;
+// diameter-bounded depth, not work-efficient).
 std::vector<vertex_id> label_prop_components(const graph::graph& g);
+
+// --- Classic PRAM algorithms --------------------------------------------
+// Shiloach-Vishkin hook-and-shortcut (O(m log n) work, textbook).
 std::vector<vertex_id> shiloach_vishkin_components(const graph::graph& g);
 // Reif / Phillips random-mate contraction (O(m log n) expected work).
 std::vector<vertex_id> random_mate_components(const graph::graph& g);
@@ -51,13 +62,13 @@ std::vector<vertex_id> random_mate_components(const graph::graph& g,
                                               uint64_t seed);
 // Awerbuch-Shiloach tree hooking (O(m log n) work).
 std::vector<vertex_id> awerbuch_shiloach_components(const graph::graph& g);
-// Lock-based parallel Rem's algorithm (the union-find variant inside the
-// PRM study; see rem_union_find.hpp).
-std::vector<vertex_id> parallel_sf_rem_components(const graph::graph& g);
-// Afforest-style sampling connectivity (Sutton et al., IPDPS'18) — a
-// post-paper technique influenced by this line of work: union a few
-// neighbours per vertex, identify the emerging giant component, and only
-// process the remaining edges of vertices outside it.
+
+// --- Post-paper sampling techniques ------------------------------------
+// Afforest-style sampling connectivity (Sutton et al., IPDPS'18) — union a
+// few neighbours per vertex, identify the emerging giant component, and
+// only process the remaining edges of vertices outside it.
 std::vector<vertex_id> afforest_components(const graph::graph& g);
+void afforest_into(const graph::graph& g, uint64_t seed,
+                   parallel::workspace& ws, std::span<vertex_id> labels);
 
 }  // namespace pcc::baselines

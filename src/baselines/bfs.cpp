@@ -44,6 +44,7 @@ size_t top_down_step(const graph::graph& g,
 
 void bfs_scratch::ensure(size_t n) {
   if (next.size() < n) {
+    frontier.reserve(n);
     next.resize(n);
     on_frontier.assign(n, 0);
     next_flags.assign(n, 0);
@@ -51,7 +52,7 @@ void bfs_scratch::ensure(size_t n) {
 }
 
 bfs_result hybrid_bfs_label(const graph::graph& g, vertex_id source,
-                            std::vector<vertex_id>& labels, vertex_id label,
+                            std::span<vertex_id> labels, vertex_id label,
                             double dense_threshold, bfs_scratch* scratch) {
   const size_t n = g.num_vertices();
   bfs_result res;
@@ -62,7 +63,8 @@ bfs_result hybrid_bfs_label(const graph::graph& g, vertex_id source,
   bfs_scratch local;
   bfs_scratch& s = scratch != nullptr ? *scratch : local;
   s.ensure(n);
-  std::vector<vertex_id> frontier{source};
+  std::vector<vertex_id>& frontier = s.frontier;
+  frontier.assign(1, source);
   std::vector<vertex_id>& next = s.next;
   std::vector<uint8_t>& on_frontier = s.on_frontier;
   std::vector<uint8_t>& next_flags = s.next_flags;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -23,8 +24,11 @@ struct bfs_result {
 };
 
 // Reusable O(n) work buffers so callers that run one BFS per component
-// (hybrid-BFS-CC) pay the allocation once, not once per component.
+// (hybrid-BFS-CC) pay the allocation once, not once per component. The
+// frontier lives here too: repeated searches through one scratch stay
+// allocation-free once the vectors have grown to their high-water mark.
 struct bfs_scratch {
+  std::vector<vertex_id> frontier;
   std::vector<vertex_id> next;
   std::vector<uint8_t> on_frontier;
   std::vector<uint8_t> next_flags;
@@ -37,9 +41,16 @@ struct bfs_scratch {
 // search never crosses already-labeled vertices). Direction-optimizing with
 // the given frontier-fraction threshold.
 bfs_result hybrid_bfs_label(const graph::graph& g, vertex_id source,
-                            std::vector<vertex_id>& labels, vertex_id label,
+                            std::span<vertex_id> labels, vertex_id label,
                             double dense_threshold = 0.2,
                             bfs_scratch* scratch = nullptr);
+
+// hybrid-BFS-CC with caller-provided output and scratch: one
+// direction-optimizing BFS per component, sweeping sources in id order —
+// so labels[v] is the minimum vertex id of v's component (canonical).
+void hybrid_bfs_components_into(const graph::graph& g,
+                                std::span<vertex_id> labels,
+                                bfs_scratch& scratch);
 
 // Plain level-synchronous parallel BFS; returns the parent of each reached
 // vertex (source's parent is itself) and kNoVertex elsewhere.

@@ -6,13 +6,17 @@
 
 #include "baselines/baselines.hpp"
 #include "baselines/bfs.hpp"
+#include "parallel/scheduler.hpp"
 
 namespace pcc::baselines {
 
-std::vector<vertex_id> hybrid_bfs_components(const graph::graph& g) {
+void hybrid_bfs_components_into(const graph::graph& g,
+                                std::span<vertex_id> labels,
+                                bfs_scratch& scratch) {
   const size_t n = g.num_vertices();
-  std::vector<vertex_id> labels(n, kNoVertex);
-  bfs_scratch scratch;  // shared across components: one O(n) allocation
+  parallel::parallel_for(0, n, [&](size_t v) {
+    labels[v] = kNoVertex;  // lint: private-write(owner index v)
+  });
   for (size_t v = 0; v < n; ++v) {
     // Sweep for the next unvisited vertex; the sweep pointer only moves
     // forward so the scan is O(n) overall.
@@ -21,6 +25,12 @@ std::vector<vertex_id> hybrid_bfs_components(const graph::graph& g) {
                        static_cast<vertex_id>(v), 0.2, &scratch);
     }
   }
+}
+
+std::vector<vertex_id> hybrid_bfs_components(const graph::graph& g) {
+  std::vector<vertex_id> labels(g.num_vertices());
+  bfs_scratch scratch;  // shared across components: one O(n) allocation
+  hybrid_bfs_components_into(g, labels, scratch);
   return labels;
 }
 

@@ -1,10 +1,11 @@
 #include "baselines/rem_union_find.hpp"
 
 #include "baselines/baselines.hpp"
+#include "parallel/arena.hpp"
 
 namespace pcc::baselines {
 
-bool parallel_rem_union_find::unite(vertex_id u, vertex_id v) {
+bool rem_view::unite(vertex_id u, vertex_id v) {
   while (true) {
     vertex_id pu = parallel::atomic_load(&parent_[u]);
     vertex_id pv = parallel::atomic_load(&parent_[v]);
@@ -16,10 +17,10 @@ bool parallel_rem_union_find::unite(vertex_id u, vertex_id v) {
     // pu > pv: advance / link on the u side.
     if (u == pu) {
       // u looks like a root: confirm under its lock and link it below pv.
-      lock(u);
+      lock_slot(u);
       const bool still_root = parallel::atomic_load(&parent_[u]) == u;
       if (still_root) parallel::atomic_store(&parent_[u], pv);
-      unlock(u);
+      unlock_slot(u);
       if (still_root) return true;
       continue;  // someone re-rooted u meanwhile: retry with fresh parents
     }
@@ -30,27 +31,39 @@ bool parallel_rem_union_find::unite(vertex_id u, vertex_id v) {
   }
 }
 
-std::vector<vertex_id> parallel_rem_union_find::flatten() {
-  const size_t n = parent_.size();
-  std::vector<vertex_id> labels(n);
-  parallel::parallel_for(0, n, [&](size_t v) {
+void rem_view::flatten_into(std::span<vertex_id> labels) const {
+  parallel::parallel_for(0, parent_.size(), [&](size_t v) {
     vertex_id x = static_cast<vertex_id>(v);
-    while (parent_[x] != x) x = parent_[x];
-    labels[v] = x;
+    while (true) {
+      const vertex_id p = parallel::atomic_load(&parent_[x]);
+      if (p == x) break;
+      x = p;
+    }
+    // Atomic store because labels may alias the parent array (see header).
+    parallel::atomic_store(&labels[v], x);
   });
-  return labels;
 }
 
-std::vector<vertex_id> parallel_sf_rem_components(const graph::graph& g) {
+void parallel_sf_rem_into(const graph::graph& g, parallel::workspace& ws,
+                          std::span<vertex_id> labels) {
   const size_t n = g.num_vertices();
-  parallel_rem_union_find uf(n);
+  parallel::workspace::scope scope(ws);
+  rem_view uf(labels, ws.take<uint8_t>(n));
+  uf.init();
   parallel::parallel_for(0, n, [&](size_t ui) {
     const vertex_id u = static_cast<vertex_id>(ui);
     for (vertex_id w : g.neighbors(u)) {
       if (u < w) uf.unite(u, w);
     }
   });
-  return uf.flatten();
+  uf.flatten_into(labels);
+}
+
+std::vector<vertex_id> parallel_sf_rem_components(const graph::graph& g) {
+  std::vector<vertex_id> labels(g.num_vertices());
+  parallel::workspace ws;
+  parallel_sf_rem_into(g, ws, labels);
+  return labels;
 }
 
 }  // namespace pcc::baselines

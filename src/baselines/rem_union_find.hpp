@@ -8,13 +8,19 @@
 // parallel_sf_rem_components (baselines.hpp) is the connectivity entry
 // point built on the parallel one.
 //
+// The parallel flavour is split into a non-owning `rem_view` over caller
+// memory (so the registry can run it out of a workspace arena with zero
+// allocations) and the original owning `parallel_rem_union_find` class,
+// now a thin wrapper. Locks are plain bytes driven by cas/read_once —
+// std::atomic_flag cannot live in an arena (not trivially copyable).
+//
 // Reference: Patwary, Blair, Manne, "Experiments on union-find algorithms
 // for the disjoint-set data structure" (SEA'10); Rem's algorithm is
 // exercise 2.3.3-story in Dijkstra's "A Discipline of Programming".
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -63,39 +69,75 @@ class rem_union_find {
   std::vector<vertex_id> parent_;
 };
 
-// Lock-based parallel Rem (the PRM scheme): the splicing walk runs
-// lock-free; only the final root link takes the root's lock and re-checks
-// rootness under it. Links strictly decrease ids, so the structure stays
-// acyclic under concurrency.
-class parallel_rem_union_find {
+// Lock-based parallel Rem (the PRM scheme) over caller-provided parent and
+// lock storage: the splicing walk runs lock-free; only the final root link
+// takes the root's lock and re-checks rootness under it. Links strictly
+// decrease ids, so the structure stays acyclic under concurrency — and the
+// root of every set is its minimum vertex id, which makes flatten_into()'s
+// labels canonical (schedule-independent).
+class rem_view {
  public:
-  explicit parallel_rem_union_find(size_t n)
-      : parent_(n), locks_(n) {
-    parallel::parallel_for(0, n, [&](size_t i) {
-      parent_[i] = static_cast<vertex_id>(i);
+  rem_view() = default;
+  rem_view(std::span<vertex_id> parent, std::span<uint8_t> locks)
+      : parent_(parent), locks_(locks) {}
+
+  // Parallel reset: every vertex its own set, all locks released.
+  void init() {
+    parallel::parallel_for(0, parent_.size(), [&](size_t i) {
+      parent_[i] = static_cast<vertex_id>(i);  // lint: private-write(owner i)
+      locks_[i] = 0;                           // lint: private-write(owner i)
     });
-    for (auto& l : locks_) l.clear();
   }
 
   bool unite(vertex_id u, vertex_id v);
 
-  // Publish every vertex's root (call after all unions have completed).
-  std::vector<vertex_id> flatten();
+  // Publish every set's root into labels[v] (call after all unions have
+  // completed). `labels` MAY alias the parent span: the writes are full
+  // path compression, and a concurrent walker that reads a freshly
+  // written root simply finishes one step later.
+  void flatten_into(std::span<vertex_id> labels) const;
+
+  size_t size() const { return parent_.size(); }
 
  private:
-  void lock(vertex_id i) {
+  void lock_slot(vertex_id i) {
     // Test-and-test-and-set with a yield: when threads outnumber cores
     // (stress/TSan runs), a bare spin starves the preempted lock holder.
-    while (locks_[i].test_and_set(std::memory_order_acquire)) {
-      while (locks_[i].test(std::memory_order_relaxed)) {
+    while (!parallel::cas(&locks_[i], uint8_t{0}, uint8_t{1})) {
+      while (parallel::read_once(&locks_[i]) != 0) {
         std::this_thread::yield();
       }
     }
   }
-  void unlock(vertex_id i) { locks_[i].clear(std::memory_order_release); }
+  void unlock_slot(vertex_id i) {
+    parallel::atomic_store(&locks_[i], uint8_t{0});
+  }
 
+  std::span<vertex_id> parent_;
+  std::span<uint8_t> locks_;
+};
+
+// Owning wrapper kept for API compatibility with pre-registry callers.
+class parallel_rem_union_find {
+ public:
+  explicit parallel_rem_union_find(size_t n)
+      : parent_(n), locks_(n), view_(parent_, locks_) {
+    view_.init();
+  }
+
+  bool unite(vertex_id u, vertex_id v) { return view_.unite(u, v); }
+
+  // Publish every vertex's root (call after all unions have completed).
+  std::vector<vertex_id> flatten() {
+    std::vector<vertex_id> labels(parent_.size());
+    view_.flatten_into(labels);
+    return labels;
+  }
+
+ private:
   std::vector<vertex_id> parent_;
-  std::vector<std::atomic_flag> locks_;
+  std::vector<uint8_t> locks_;
+  rem_view view_;
 };
 
 }  // namespace pcc::baselines

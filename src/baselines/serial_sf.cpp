@@ -21,19 +21,43 @@ std::vector<vertex_id> serial_sf_components(const graph::graph& g) {
   return labels;
 }
 
+void serial_sf_rem_into(const graph::graph& g, std::span<vertex_id> parent) {
+  // Rem's splicing walk directly over the output span: links strictly
+  // decrease, so every root is its set's minimum and the flattened labels
+  // are canonical. The in-place flatten is safe because flattened cells
+  // hold roots and roots are fixpoints of the walk.
+  const size_t n = g.num_vertices();
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<vertex_id>(i);
+  for (size_t ui = 0; ui < n; ++ui) {
+    for (vertex_id w : g.neighbors(static_cast<vertex_id>(ui))) {
+      vertex_id u = static_cast<vertex_id>(ui);
+      if (u >= w) continue;
+      vertex_id v = w;
+      while (parent[u] != parent[v]) {
+        if (parent[u] < parent[v]) std::swap(u, v);
+        if (u == parent[u]) {
+          parent[u] = parent[v];
+          break;
+        }
+        const vertex_id z = parent[u];
+        parent[u] = parent[v];
+        u = z;
+      }
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    vertex_id x = static_cast<vertex_id>(v);
+    while (parent[x] != x) x = parent[x];
+    parent[v] = x;
+  }
+}
+
 std::vector<vertex_id> serial_sf_rem_components(const graph::graph& g) {
   // The paper's Table 2 footnote: for two inputs it reports Patwary et
   // al.'s sequential code because it beat the PBBS one — that code is
   // Rem's algorithm, provided here as the alternative serial baseline.
-  const size_t n = g.num_vertices();
-  rem_union_find uf(n);
-  for (size_t u = 0; u < n; ++u) {
-    for (vertex_id w : g.neighbors(static_cast<vertex_id>(u))) {
-      if (u < w) uf.unite(static_cast<vertex_id>(u), w);
-    }
-  }
-  std::vector<vertex_id> labels(n);
-  for (size_t v = 0; v < n; ++v) labels[v] = uf.find(static_cast<vertex_id>(v));
+  std::vector<vertex_id> labels(g.num_vertices());
+  serial_sf_rem_into(g, labels);
   return labels;
 }
 

@@ -90,6 +90,12 @@ void cc_engine::reserve(size_t n, size_t m) {
 
 std::span<const vertex_id> cc_engine::run(const graph::graph& g,
                                           cc_stats* stats) {
+  return run(g, opt_, stats);
+}
+
+std::span<const vertex_id> cc_engine::run(const graph::graph& g,
+                                          const cc_options& opt,
+                                          cc_stats* stats) {
   const size_t n0 = g.num_vertices();
   const size_t m0 = g.num_edges();
 
@@ -102,7 +108,7 @@ std::span<const vertex_id> cc_engine::run(const graph::graph& g,
   frames_.clear();
   // No-op after the first run; see the note in reserve() on why frames_
   // is sized by the cap rather than by observed depth.
-  frames_.reserve(opt_.max_levels);
+  frames_.reserve(opt.max_levels);
 
   if (n0 == 0) return {};
   std::span<vertex_id> labels = persist_.take<vertex_id>(n0);
@@ -132,7 +138,7 @@ std::span<const vertex_id> cc_engine::run(const graph::graph& g,
   std::span<const vertex_id> base;  // labels of the topmost solved level
   size_t level = 0;
   while (true) {
-    if (level >= opt_.max_levels) {
+    if (level >= opt.max_levels) {
       if (stats != nullptr) stats->used_fallback = true;
       std::span<vertex_id> fb = scratch_.take<vertex_id>(cur.n);
       std::span<vertex_id> parent = scratch_.take<vertex_id>(cur.n);
@@ -151,13 +157,13 @@ std::span<const vertex_id> cc_engine::run(const graph::graph& g,
     ldd::decomp_info dec;
     {
       parallel::workspace::scope s(scratch_);
-      dec = run_decomposition(cur, opt_, level, cluster, scratch_, stats);
+      dec = run_decomposition(cur, opt, level, cluster, scratch_, stats);
     }
 
     // G' = CONTRACT(G, L)
     parallel::timer contract_timer;
     const contraction_view cv = contract_into(
-        cur, cluster, opt_.dedup, persist_, graph_[1 - ping], scratch_);
+        cur, cluster, opt.dedup, persist_, graph_[1 - ping], scratch_);
     if (stats != nullptr) {
       stats->phases.add("contractGraph", contract_timer.elapsed());
       level_stats ls;

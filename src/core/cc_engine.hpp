@@ -44,6 +44,14 @@ class cc_engine {
   std::span<const vertex_id> run(const graph::graph& g,
                                  cc_stats* stats = nullptr);
 
+  // Same, but with per-run options (the registry shares ONE engine across
+  // the decomp-* variants, so the variant/beta/seed travel with the call
+  // rather than being baked in at construction). The arenas are shaped by
+  // sizes, not options, so switching options between runs keeps the
+  // allocation-free property.
+  std::span<const vertex_id> run(const graph::graph& g, const cc_options& opt,
+                                 cc_stats* stats = nullptr);
+
   const cc_options& options() const { return opt_; }
 
  private:

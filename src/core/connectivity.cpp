@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "core/cc_engine.hpp"
+#include "core/registry.hpp"
 #include "parallel/arena.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/scheduler.hpp"
@@ -33,9 +34,14 @@ const char* variant_name(decomp_variant v) {
 std::vector<vertex_id> connected_components(const graph::graph& g,
                                             const cc_options& opt,
                                             cc_stats* stats) {
-  cc_engine engine(opt);
-  const std::span<const vertex_id> labels = engine.run(g, stats);
-  return std::vector<vertex_id>(labels.begin(), labels.end());
+  // One-shot path through the registry: resolve the requested algorithm
+  // ("auto" probes and selects), run it into the result vector. Callers
+  // with repeated queries should hold an algo_workspace (or a cc_engine)
+  // themselves and use run_algorithm() directly.
+  std::vector<vertex_id> labels(g.num_vertices());
+  algo_workspace ws;
+  run_algorithm(resolve_algorithm(opt), g, opt, ws, labels, stats);
+  return labels;
 }
 
 size_t num_components(const std::vector<vertex_id>& labels) {

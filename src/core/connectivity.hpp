@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/ldd.hpp"
+#include "core/select.hpp"
 #include "graph/graph.hpp"
 #include "parallel/timer.hpp"
 
@@ -25,6 +26,13 @@ enum class decomp_variant {
 const char* variant_name(decomp_variant v);
 
 struct cc_options {
+  // Which registered algorithm answers the query (see core/registry.hpp).
+  // "auto" (the default) probes the graph and picks via core/select.hpp;
+  // "decomp" pins the decompose-contract pipeline configured by `variant`
+  // and the knobs below; any registered name ("decomp-arb-hybrid",
+  // "serial-sf", "lt-ps", ...) pins that algorithm. Unknown names make
+  // connected_components throw std::invalid_argument.
+  std::string algorithm = "auto";
   // beta must lie in (0, 1); the linear-work guarantee for the Arb variants
   // needs beta < 1/2 (Theorem 2), and the paper's sweet spot is 0.05-0.2.
   double beta = 0.2;
@@ -60,6 +68,12 @@ struct cc_stats {
   std::vector<level_stats> levels;
   parallel::phase_timer phases;  // summed across levels (Figures 5-7)
   bool used_fallback = false;    // max_levels safety net triggered
+  // Which registered algorithm actually ran. Points at the registry's
+  // static name string (no allocation — repeated engine-workspace runs
+  // must stay heap-free), so it outlives every cc_stats.
+  const char* algorithm = nullptr;
+  bool selected = false;  // true when "auto" consulted the probe
+  probe_stats probe;      // the probed statistics (valid when `selected`)
 };
 
 // Algorithm 1: recursive decompose-contract-relabel connectivity.

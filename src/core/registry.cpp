@@ -1,0 +1,257 @@
+// The algorithm registry table and the runners adapting every
+// implementation to the common workspace-backed signature.
+
+#include "core/registry.hpp"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "core/labeling.hpp"
+#include "core/select.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace pcc::cc {
+
+namespace {
+
+void copy_labels(std::span<const vertex_id> src, std::span<vertex_id> dst) {
+  parallel::parallel_for(0, src.size(), [&](size_t i) {
+    dst[i] = src[i];  // lint: private-write(owner index i)
+  });
+}
+
+// --- decomp-*: the paper's pipeline through the shared engine ----------
+// The variant is pinned by the registry entry; every other knob (beta,
+// shifts, dedup, seed, ...) travels with the caller's options. The options
+// copy below builds a fresh cc_options rather than copying opt wholesale
+// so no std::string copy can touch the heap on the repeated-query path.
+template <decomp_variant V>
+void run_decomp(const graph::graph& g, const cc_options& opt,
+                algo_workspace& ws, std::span<vertex_id> out, cc_stats* stats) {
+  cc_options o;
+  o.variant = V;
+  o.beta = opt.beta;
+  o.shifts = opt.shifts;
+  o.dedup = opt.dedup;
+  o.seed = opt.seed;
+  o.dense_threshold = opt.dense_threshold;
+  o.parallel_edge_threshold = opt.parallel_edge_threshold;
+  o.max_levels = opt.max_levels;
+  copy_labels(ws.engine.run(g, o, stats), out);
+}
+
+// --- Liu–Tarjan labeling variants, indexed into liu_tarjan_variants() ---
+template <size_t I>
+void run_lt(const graph::graph& g, const cc_options&, algo_workspace& ws,
+            std::span<vertex_id> out, cc_stats*) {
+  liu_tarjan_into(g, liu_tarjan_variants()[I].policy, out, ws.scratch);
+}
+
+// --- workspace-backed baselines ----------------------------------------
+void run_serial_sf_rem(const graph::graph& g, const cc_options&,
+                       algo_workspace&, std::span<vertex_id> out, cc_stats*) {
+  baselines::serial_sf_rem_into(g, out);
+}
+
+void run_parallel_sf_rem(const graph::graph& g, const cc_options&,
+                         algo_workspace& ws, std::span<vertex_id> out,
+                         cc_stats*) {
+  baselines::parallel_sf_rem_into(g, ws.scratch, out);
+}
+
+void run_afforest(const graph::graph& g, const cc_options& opt,
+                  algo_workspace& ws, std::span<vertex_id> out, cc_stats*) {
+  baselines::afforest_into(g, opt.seed, ws.scratch, out);
+}
+
+void run_hybrid_bfs(const graph::graph& g, const cc_options&,
+                    algo_workspace& ws, std::span<vertex_id> out, cc_stats*) {
+  baselines::hybrid_bfs_components_into(g, out, ws.bfs);
+}
+
+// --- vector-returning baselines, adapted by copy ------------------------
+void run_serial_sf(const graph::graph& g, const cc_options&, algo_workspace&,
+                   std::span<vertex_id> out, cc_stats*) {
+  copy_labels(baselines::serial_sf_components(g), out);
+}
+
+void run_parallel_sf_prm(const graph::graph& g, const cc_options&,
+                         algo_workspace&, std::span<vertex_id> out, cc_stats*) {
+  copy_labels(baselines::parallel_sf_prm_components(g), out);
+}
+
+void run_parallel_sf_pbbs(const graph::graph& g, const cc_options&,
+                          algo_workspace&, std::span<vertex_id> out,
+                          cc_stats*) {
+  copy_labels(baselines::parallel_sf_pbbs_components(g), out);
+}
+
+void run_multistep(const graph::graph& g, const cc_options&, algo_workspace&,
+                   std::span<vertex_id> out, cc_stats*) {
+  copy_labels(baselines::multistep_components(g), out);
+}
+
+void run_label_prop(const graph::graph& g, const cc_options&, algo_workspace&,
+                    std::span<vertex_id> out, cc_stats*) {
+  copy_labels(baselines::label_prop_components(g), out);
+}
+
+void run_shiloach_vishkin(const graph::graph& g, const cc_options&,
+                          algo_workspace&, std::span<vertex_id> out,
+                          cc_stats*) {
+  copy_labels(baselines::shiloach_vishkin_components(g), out);
+}
+
+void run_random_mate(const graph::graph& g, const cc_options& opt,
+                     algo_workspace&, std::span<vertex_id> out, cc_stats*) {
+  copy_labels(baselines::random_mate_components(g, opt.seed), out);
+}
+
+void run_awerbuch_shiloach(const graph::graph& g, const cc_options&,
+                           algo_workspace&, std::span<vertex_id> out,
+                           cc_stats*) {
+  copy_labels(baselines::awerbuch_shiloach_components(g), out);
+}
+
+// --- auto: probe, select, delegate --------------------------------------
+void run_auto(const graph::graph& g, const cc_options& opt, algo_workspace& ws,
+              std::span<vertex_id> out, cc_stats* stats) {
+  const probe_stats ps = probe_graph(g, opt.seed, ws.scratch);
+  const char* pick = select_algorithm(ps, parallel::num_workers());
+  const algorithm* chosen = find_algorithm(pick);
+  assert(chosen != nullptr && chosen->run != &run_auto);
+  run_algorithm(*chosen, g, opt, ws, out, stats);
+  if (stats != nullptr) {
+    stats->selected = true;
+    stats->probe = ps;
+  }
+}
+
+std::vector<algorithm> build_table() {
+  std::vector<algorithm> t;
+  const auto add = [&](const char* name, const char* description,
+                       bool canonical, bool seeded, bool ws_backed,
+                       decltype(algorithm::run) run) {
+    t.push_back({name, description, canonical, seeded, ws_backed, run});
+  };
+  add("auto", "probe the graph, pick a registered algorithm (core/select)",
+      false, true, true, &run_auto);
+  add("decomp-arb-hybrid",
+      "decompose-contract, arbitrary-CC hybrid traversal (paper default)",
+      false, true, true, &run_decomp<decomp_variant::kArbHybrid>);
+  add("decomp-arb", "decompose-contract, arbitrary-CC write-based traversal",
+      false, true, true, &run_decomp<decomp_variant::kArb>);
+  add("decomp-min", "decompose-contract, deterministic min-CC traversal",
+      false, true, true, &run_decomp<decomp_variant::kMin>);
+  add("serial-sf", "sequential union-find spanning forest (PBBS baseline)",
+      false, false, false, &run_serial_sf);
+  add("serial-sf-rem", "sequential Rem's splicing union-find (Patwary et al.)",
+      true, false, true, &run_serial_sf_rem);
+  add("parallel-sf-prm", "lock-based multicore union-find (PRM, IPDPS'12)",
+      false, false, false, &run_parallel_sf_prm);
+  add("parallel-sf-pbbs", "deterministic-reservations spanning forest (PBBS)",
+      false, false, false, &run_parallel_sf_pbbs);
+  add("parallel-sf-rem", "lock-based parallel Rem's union-find (PRM study)",
+      true, false, true, &run_parallel_sf_rem);
+  add("hybrid-bfs", "direction-optimizing BFS per component (Ligra-style)",
+      true, false, true, &run_hybrid_bfs);
+  add("multistep", "BFS giant component + label propagation (Slota et al.)",
+      false, false, false, &run_multistep);
+  add("label-prop", "pure label propagation (graph-systems baseline)", true,
+      false, false, &run_label_prop);
+  add("shiloach-vishkin", "classic hook-and-shortcut (Shiloach-Vishkin 1982)",
+      true, false, false, &run_shiloach_vishkin);
+  add("random-mate", "Reif/Phillips random-mate contraction", false, true,
+      false, &run_random_mate);
+  add("awerbuch-shiloach", "Awerbuch-Shiloach tree hooking", false, false,
+      false, &run_awerbuch_shiloach);
+  add("afforest", "sampled neighbour rounds + giant-component skip (Afforest)",
+      true, true, true, &run_afforest);
+
+  // The Liu–Tarjan lattice, one entry per named variant. kLtRuns must stay
+  // in lockstep with liu_tarjan_variants() — checked below.
+  constexpr std::array<decltype(algorithm::run), 10> kLtRuns = {
+      &run_lt<0>, &run_lt<1>, &run_lt<2>, &run_lt<3>, &run_lt<4>,
+      &run_lt<5>, &run_lt<6>, &run_lt<7>, &run_lt<8>, &run_lt<9>};
+  const std::span<const lt_variant> lts = liu_tarjan_variants();
+  assert(lts.size() == kLtRuns.size());
+  for (size_t i = 0; i < lts.size() && i < kLtRuns.size(); ++i) {
+    add(lts[i].name, lts[i].description, true, false, true, kLtRuns[i]);
+  }
+  return t;
+}
+
+const std::vector<algorithm>& table() {
+  static const std::vector<algorithm> t = build_table();
+  return t;
+}
+
+}  // namespace
+
+void algo_workspace::reserve(size_t n, size_t m) {
+  engine.reserve(n, m);
+  // Worst scratch customer is an alter-mode labeling run: two m-sized
+  // packed-pair ping-pong buffers plus emission block counts.
+  scratch.reserve(2 * sizeof(parallel::packed_pair) * m +
+                  8 * sizeof(vertex_id) * n);
+  bfs.ensure(n);
+}
+
+std::span<const algorithm> algorithms() { return table(); }
+
+const algorithm* find_algorithm(std::string_view name) {
+  for (const algorithm& a : table()) {
+    if (name == a.name) return &a;
+  }
+  return nullptr;
+}
+
+const algorithm& resolve_algorithm(const cc_options& opt) {
+  std::string_view name = opt.algorithm;
+  if (name == "decomp") {
+    switch (opt.variant) {
+      case decomp_variant::kMin:
+        name = "decomp-min";
+        break;
+      case decomp_variant::kArb:
+        name = "decomp-arb";
+        break;
+      case decomp_variant::kArbHybrid:
+        name = "decomp-arb-hybrid";
+        break;
+    }
+  }
+  const algorithm* a = find_algorithm(name);
+  if (a == nullptr) {
+    throw std::invalid_argument("unknown connectivity algorithm \"" +
+                                opt.algorithm + "\" (see cc::algorithms())");
+  }
+  return *a;
+}
+
+void run_algorithm(const algorithm& algo, const graph::graph& g,
+                   const cc_options& opt, algo_workspace& ws,
+                   std::span<vertex_id> labels_out, cc_stats* stats) {
+  assert(labels_out.size() == g.num_vertices());
+  if (stats != nullptr) stats->algorithm = algo.name;
+  algo.run(g, opt, ws, labels_out, stats);
+}
+
+std::string algorithm_listing() {
+  std::string out;
+  for (const algorithm& a : table()) {
+    out += "  ";
+    out += a.name;
+    size_t pad = a.name[0] != '\0' ? std::string_view(a.name).size() : 0;
+    for (; pad < 20; ++pad) out += ' ';
+    out += a.description;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pcc::cc

@@ -117,6 +117,7 @@ TEST(CcEngine, MatchesOneShotExactlyOnOneWorker) {
   const graph::graph g = graph::rmat_graph(4096, 16000, 17);
   for (const auto& [vname, variant] : all_variants()) {
     cc_options opt;
+    opt.algorithm = "decomp";
     opt.variant = variant;
     opt.seed = 99;
     const std::vector<vertex_id> oneshot = connected_components(g, opt);
@@ -137,6 +138,7 @@ TEST(CcEngine, ValidOnCorpusBothBackends) {
     parallel::scoped_backend guard(b);
     for (const auto& [vname, variant] : all_variants()) {
       cc_options opt;
+      opt.algorithm = "decomp";
       opt.variant = variant;
       cc::cc_engine engine(opt);
       for (const auto& gc : pcc::testing::correctness_corpus()) {
@@ -162,6 +164,7 @@ TEST(CcEngine, StatsMatchOneShot) {
   const graph::graph g = graph::random_graph(20000, 5, 41);
   for (const auto& [vname, variant] : all_variants()) {
     cc_options opt;
+    opt.algorithm = "decomp";
     opt.variant = variant;
     cc_stats engine_stats;
     cc::cc_engine engine(opt);
@@ -235,6 +238,7 @@ TEST(CcEngine, HotPathRunIsAllocationFree) {
     for (const auto& [vname, variant] : all_variants()) {
       const graph::graph g = graph::random_graph(20000, 5, 7);
       cc_options opt;
+      opt.algorithm = "decomp";
       opt.variant = variant;
       cc::cc_engine engine(opt);
       engine.run(g);  // warm-up: arenas chain chunks as needed
@@ -279,6 +283,7 @@ TEST(CcEngine, ReserveFrontLoadsAllocation) {
 TEST(CcEngine, OptionsAreHonored) {
   const graph::graph g = graph::random_graph(4000, 3, 21);
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.beta = 0.1;
   opt.dedup = false;
   opt.variant = decomp_variant::kArb;

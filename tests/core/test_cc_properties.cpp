@@ -18,6 +18,7 @@ using cc::decomp_variant;
 
 cc_options options_for(decomp_variant v, double beta, uint64_t seed) {
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.variant = v;
   opt.beta = beta;
   opt.seed = seed;
@@ -49,6 +50,7 @@ TEST(CcProperties, LevelInvariants) {
   const graph::graph g = graph::random_graph(30000, 5, 3);
   cc_stats stats;
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.beta = 0.2;
   connected_components(g, opt, &stats);
   ASSERT_GE(stats.levels.size(), 2u);
@@ -78,6 +80,7 @@ TEST(CcProperties, LevelCountLogarithmic) {
   const graph::graph g = graph::random_graph(50000, 5, 7);
   cc_stats stats;
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.beta = 0.2;
   connected_components(g, opt, &stats);
   const double bound = 4.0 + 3.0 * std::log2(static_cast<double>(g.num_edges()));
@@ -89,6 +92,7 @@ TEST(CcProperties, SmallerBetaFewerLevels) {
   const auto levels_at = [&](double beta) {
     cc_stats stats;
     cc_options opt;
+    opt.algorithm = "decomp";
     opt.beta = beta;
     connected_components(g, opt, &stats);
     return stats.levels.size();
@@ -114,6 +118,7 @@ TEST(CcProperties, HybridThresholdExtremes) {
   const graph::graph g = graph::rmat_graph(4096, 20000, 13);
   for (double threshold : {0.0, 0.0001, 0.99}) {
     cc_options opt;
+    opt.algorithm = "decomp";
     opt.variant = decomp_variant::kArbHybrid;
     opt.dense_threshold = threshold;
     const auto labels = connected_components(g, opt);
@@ -125,6 +130,7 @@ TEST(CcProperties, HybridThresholdExtremes) {
 TEST(CcProperties, NoDedupStillCorrectAndTerminates) {
   const graph::graph g = graph::grid3d_graph(8000, true, 15);
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.dedup = false;
   cc_stats stats;
   const auto labels = connected_components(g, opt, &stats);
@@ -139,6 +145,7 @@ TEST(CcProperties, DedupShrinksLevelsOnDenseGraphs) {
   const auto level1_edges = [&](bool dedup) {
     cc_stats stats;
     cc_options opt;
+    opt.algorithm = "decomp";
     opt.dedup = dedup;
     opt.seed = 5;
     connected_components(g, opt, &stats);
@@ -165,6 +172,7 @@ TEST(CcProperties, LineGraphManyLevels) {
   const graph::graph g = graph::line_graph(20000);
   cc_stats stats;
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.beta = 0.1;
   const auto labels = connected_components(g, opt, &stats);
   EXPECT_TRUE(baselines::is_valid_components_labeling(g, labels));
@@ -189,6 +197,7 @@ TEST(CcProperties, EdgeParallelHighDegreePathCorrect) {
                         graph::social_network_like(1024, 5)}) {
     for (size_t threshold : {size_t{0}, size_t{8}, size_t{64}}) {
       cc_options opt;
+      opt.algorithm = "decomp";
       opt.variant = decomp_variant::kArb;
       opt.parallel_edge_threshold = threshold;
       const auto labels = connected_components(g, opt);
@@ -201,6 +210,7 @@ TEST(CcProperties, EdgeParallelHighDegreePathCorrect) {
 TEST(CcProperties, EdgeParallelMatchesSequentialPartition) {
   const graph::graph g = graph::rmat_graph(2048, 20000, 7);
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.variant = decomp_variant::kArb;
   const auto plain = connected_components(g, opt);
   opt.parallel_edge_threshold = 4;

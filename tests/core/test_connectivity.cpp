@@ -50,6 +50,7 @@ std::vector<cc_param> make_params() {
   for (const auto& gc : correctness_corpus()) {
     for (const auto& [vname, variant] : variants) {
       cc_options opt;
+      opt.algorithm = "decomp";
       opt.variant = variant;
       opt.beta = 0.2;
       params.push_back({gc.name + "_" + vname, gc, opt});
@@ -78,6 +79,7 @@ class ConnectivityBetaSweep : public ::testing::TestWithParam<beta_param> {};
 TEST_P(ConnectivityBetaSweep, MatchesReferenceOnRandomAndRmat) {
   const auto& p = GetParam();
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.variant = p.variant;
   opt.beta = p.beta;
   opt.shifts = p.shifts;
@@ -167,6 +169,7 @@ TEST(Connectivity, DeterministicGivenSeedOnOneWorker) {
   parallel::scoped_workers one(1);
   const graph::graph g = graph::rmat_graph(2048, 8000, 31);
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.seed = 99;
   const auto a = connected_components(g, opt);
   const auto b = connected_components(g, opt);
@@ -176,6 +179,7 @@ TEST(Connectivity, DeterministicGivenSeedOnOneWorker) {
 TEST(Connectivity, DifferentSeedsSamePartition) {
   const graph::graph g = graph::random_graph(3000, 4, 33);
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.seed = 1;
   const auto a = connected_components(g, opt);
   opt.seed = 2;
@@ -193,6 +197,7 @@ TEST(Connectivity, NumComponentsHelper) {
 TEST(Connectivity, StatsRecordEdgeDecay) {
   const graph::graph g = graph::random_graph(20000, 5, 41);
   cc_options opt;
+  opt.algorithm = "decomp";
   opt.beta = 0.2;
   cc_stats stats;
   const auto labels = connected_components(g, opt, &stats);

@@ -32,6 +32,7 @@ TEST_P(OversubscribedWorkers, AllVariantsOnContendedGraphs) {
     for (auto v : {decomp_variant::kMin, decomp_variant::kArb,
                    decomp_variant::kArbHybrid}) {
       cc_options opt;
+      opt.algorithm = "decomp";
       opt.variant = v;
       for (uint64_t seed = 1; seed <= 3; ++seed) {
         opt.seed = seed;

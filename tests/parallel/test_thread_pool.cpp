@@ -107,6 +107,7 @@ TEST_P(BothBackends, EndToEndConnectivity) {
   for (auto v : {cc::decomp_variant::kMin, cc::decomp_variant::kArb,
                  cc::decomp_variant::kArbHybrid}) {
     cc::cc_options opt;
+    opt.algorithm = "decomp";
     opt.variant = v;
     const auto labels = cc::connected_components(g, opt);
     ASSERT_TRUE(baselines::is_valid_components_labeling(g, labels));
@@ -137,6 +138,7 @@ TEST_P(BothBackends, SamePartitionAcrossBackends) {
   // partition must not.
   const graph::graph g = graph::random_graph(5000, 4, 9);
   cc::cc_options opt;
+  opt.algorithm = "decomp";
   opt.seed = 1234;
   const auto here = cc::connected_components(g, opt);
   scoped_backend other(GetParam() == backend::kOpenMP ? backend::kThreadPool
@@ -154,6 +156,7 @@ TEST_P(BothBackends, DecompMinLabelsAreScheduleIndependent) {
   // returns identical LABELS on any backend and worker count.
   const graph::graph g = graph::rmat_graph(4096, 25000, 11);
   cc::cc_options opt;
+  opt.algorithm = "decomp";
   opt.variant = cc::decomp_variant::kMin;
   opt.seed = 7;
   const auto here = cc::connected_components(g, opt);

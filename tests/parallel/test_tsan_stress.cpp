@@ -58,6 +58,7 @@ TEST_P(TsanBackends, FullPipelineRepeated) {
     for (auto v : {decomp_variant::kMin, decomp_variant::kArb,
                    decomp_variant::kArbHybrid}) {
       cc_options opt;
+      opt.algorithm = "decomp";
       opt.variant = v;
       for (uint64_t seed = 1; seed <= 2; ++seed) {
         opt.seed = seed;

@@ -218,5 +218,25 @@ void f(unsigned* out, const unsigned* in) {
                          msg="\n".join(f.render() for f in findings))
 
 
+class PolicyTemplateTests(unittest.TestCase):
+    """Policy-templated claim loops (core/labeling.cpp style): template
+    parameters and `if constexpr` dispatch must neither hide races nor
+    produce false positives on disciplined branches."""
+
+    def test_templated_hook_and_shortcut_passes_are_clean(self):
+        findings = lint("good_policy_template.cpp")
+        self.assertEqual(findings, [],
+                         msg="\n".join(f.render() for f in findings))
+
+    def test_raw_store_inside_constexpr_branch_is_flagged(self):
+        findings = lint("bad_policy_template.cpp")
+        # Both branches store raw: direct `p[u]` and parent-hop `p[pu]`.
+        self.assertEqual(rules(findings), ["raw-captured-write"] * 2)
+        with open(os.path.join(FIXTURES, "bad_policy_template.cpp")) as f:
+            lines = f.read().splitlines()
+        self.assertIn("p[u] = pv;", lines[findings[0].line - 1])
+        self.assertIn("p[pu] = pv;", lines[findings[1].line - 1])
+
+
 if __name__ == "__main__":
     unittest.main()

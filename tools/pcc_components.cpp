@@ -5,11 +5,10 @@
 //   pcc_components --format snap input.txt --algo decomp-arb-hybrid
 //   pcc_components input.adj --beta 0.1 --threads 8 --out labels.txt
 //   pcc_components input.adj --algo serial-sf --verify
+//   pcc_components input.adj --verbose          # show the probe + selection
 //
-// Algorithms: decomp-arb-hybrid (default), decomp-arb, decomp-min,
-// serial-sf, serial-sf-rem, parallel-sf-prm, parallel-sf-pbbs,
-// parallel-sf-rem, hybrid-bfs, multistep, label-prop, shiloach-vishkin,
-// random-mate, awerbuch-shiloach, afforest.
+// Algorithms come from the cc::algorithm registry; `--algo help` lists
+// every registered name with a one-line description.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,72 +25,53 @@ constexpr const char kUsage[] =
     "usage: pcc_components [--format {auto|adj|badj|snap}] [--algo NAME]\n"
     "                      [--beta B] [--seed S] [--threads T] [--repeat N]\n"
     "                      [--out labels.txt] [--forest forest.txt]\n"
-    "                      [--stats] [--verify] [--serial-io] INPUT\n"
-    "  --repeat N   (decomp-* algos) answer the query N times through one\n"
-    "               reusable cc_engine and report per-run times; runs after\n"
-    "               the first are allocation-free.\n"
+    "                      [--stats] [--verify] [--verbose] [--serial-io]\n"
+    "                      INPUT\n"
+    "  --algo NAME  a registered algorithm (default: auto, which probes the\n"
+    "               graph and picks one); `--algo help` lists them all.\n"
+    "  --repeat N   answer the query N times through one reusable\n"
+    "               algo_workspace and report per-run times; for\n"
+    "               workspace-backed algorithms runs after the first are\n"
+    "               allocation-free.\n"
+    "  --verbose    print the probed graph statistics and which algorithm\n"
+    "               `auto` selected.\n"
     "  --serial-io  use the reference serial loaders instead of the\n"
     "               parallel mmap + from_chars path (A/B debugging aid).\n";
 
 using namespace pcc;
 
-bool decomp_variant_of(const std::string& algo, cc::decomp_variant* v) {
-  if (algo == "decomp-arb-hybrid") *v = cc::decomp_variant::kArbHybrid;
-  else if (algo == "decomp-arb") *v = cc::decomp_variant::kArb;
-  else if (algo == "decomp-min") *v = cc::decomp_variant::kMin;
-  else return false;
-  return true;
-}
-
-std::vector<vertex_id> run_algo(const std::string& algo, const graph::graph& g,
-                                double beta, uint64_t seed,
-                                cc::cc_stats* stats) {
-  const auto decomp = [&](cc::decomp_variant v) {
-    cc::cc_options opt;
-    opt.variant = v;
-    opt.beta = beta;
-    opt.seed = seed;
-    return cc::connected_components(g, opt, stats);
-  };
-  if (algo == "decomp-arb-hybrid") return decomp(cc::decomp_variant::kArbHybrid);
-  if (algo == "decomp-arb") return decomp(cc::decomp_variant::kArb);
-  if (algo == "decomp-min") return decomp(cc::decomp_variant::kMin);
-  if (algo == "serial-sf") return baselines::serial_sf_components(g);
-  if (algo == "serial-sf-rem") return baselines::serial_sf_rem_components(g);
-  if (algo == "parallel-sf-prm") return baselines::parallel_sf_prm_components(g);
-  if (algo == "parallel-sf-pbbs") return baselines::parallel_sf_pbbs_components(g);
-  if (algo == "hybrid-bfs") return baselines::hybrid_bfs_components(g);
-  if (algo == "multistep") return baselines::multistep_components(g);
-  if (algo == "label-prop") return baselines::label_prop_components(g);
-  if (algo == "shiloach-vishkin") return baselines::shiloach_vishkin_components(g);
-  if (algo == "random-mate") return baselines::random_mate_components(g, seed);
-  if (algo == "awerbuch-shiloach") return baselines::awerbuch_shiloach_components(g);
-  if (algo == "parallel-sf-rem") return baselines::parallel_sf_rem_components(g);
-  if (algo == "afforest") return baselines::afforest_components(g);
-  tools::usage_and_exit(kUsage);
-}
-
 int run(int argc, char** argv) {
   tools::arg_parser args(
       argc, argv,
       {"format", "algo", "beta", "seed", "threads", "repeat", "out", "forest"},
-      {"stats", "verify", "serial-io"});
+      {"stats", "verify", "verbose", "serial-io"});
   if (args.positionals().size() != 1) tools::usage_and_exit(kUsage);
 
   const std::string input = args.positionals()[0];
   const graph::file_format format =
       graph::format_from_name(args.get("format", "auto"));
-  const std::string algo = args.get("algo", "decomp-arb-hybrid");
+  const std::string algo = args.get("algo", "auto");
+  if (algo == "help" || algo == "list") {
+    throw tools::arg_error("registered algorithms:\n" +
+                           cc::algorithm_listing());
+  }
   const double beta = args.get_double("beta", 0.2);
   const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 42));
   const int threads = static_cast<int>(args.get_int("threads", 0));
   if (threads > 0) parallel::set_num_workers(threads);
+  const int repeat = std::max(1, static_cast<int>(args.get_int("repeat", 1)));
 
-  const int repeat = static_cast<int>(args.get_int("repeat", 1));
-  cc::decomp_variant variant;
-  if (repeat > 1 && !decomp_variant_of(algo, &variant)) {
-    std::fprintf(stderr, "error: --repeat needs a decomp-* algorithm\n");
-    return 1;
+  cc::cc_options opt;
+  opt.algorithm = algo;
+  opt.beta = beta;
+  opt.seed = seed;
+  const cc::algorithm* algorithm = nullptr;
+  try {
+    algorithm = &cc::resolve_algorithm(opt);
+  } catch (const std::invalid_argument& e) {
+    throw tools::arg_error(std::string(e.what()) +
+                           "\nregistered algorithms:\n" +
+                           cc::algorithm_listing());
   }
 
   parallel::phase_timer io_phases;
@@ -117,49 +97,48 @@ int run(int argc, char** argv) {
     }
   }
 
+  const bool want_stats = args.has("stats") || args.has("verbose");
   cc::cc_stats stats;
-  std::vector<vertex_id> labels;
-  size_t components = 0;
-  double elapsed = 0;
-  if (repeat > 1) {
-    // Repeated-query mode: one engine, N runs. The first run sizes the
-    // arenas; later runs never touch the heap, so their times isolate the
-    // algorithmic cost.
-    cc::cc_options opt;
-    opt.variant = variant;
-    opt.beta = beta;
-    opt.seed = seed;
-    cc::cc_engine engine(opt);
-    engine.reserve(g.num_vertices(), g.num_edges());
-    std::vector<double> times(static_cast<size_t>(repeat));
-    std::span<const vertex_id> last;
-    for (int r = 0; r < repeat; ++r) {
-      parallel::timer t;
-      last = engine.run(g, args.has("stats") && r == 0 ? &stats : nullptr);
-      times[static_cast<size_t>(r)] = t.elapsed();
+  std::vector<vertex_id> labels(g.num_vertices());
+  cc::algo_workspace ws;
+  ws.reserve(g.num_vertices(), g.num_edges());
+
+  std::vector<double> times(static_cast<size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    parallel::timer t;
+    cc::run_algorithm(*algorithm, g, opt, ws, labels,
+                      want_stats && r == 0 ? &stats : nullptr);
+    times[static_cast<size_t>(r)] = t.elapsed();
+    if (repeat > 1) {
       std::printf("run %d: %.4fs\n", r, times[static_cast<size_t>(r)]);
     }
-    // Query index straight from the engine-owned span — no label copy.
-    const cc::component_index index(last);
-    components = index.num_components();
-    if (args.has("verify") || !args.get("out", "").empty()) {
-      labels.assign(last.begin(), last.end());
-    }
-    std::vector<double> sorted = times;
-    std::sort(sorted.begin(), sorted.end());
-    elapsed = sorted[sorted.size() / 2];
-    std::printf("min %.4fs / median %.4fs over %d runs\n", sorted.front(),
-                elapsed, repeat);
-  } else {
-    parallel::timer t;
-    labels = run_algo(algo, g, beta, seed,
-                      args.has("stats") ? &stats : nullptr);
-    elapsed = t.elapsed();
-    components = cc::num_components(labels);
   }
+  std::sort(times.begin(), times.end());
+  const double elapsed = times[times.size() / 2];
+  if (repeat > 1) {
+    std::printf("min %.4fs / median %.4fs over %d runs\n", times.front(),
+                elapsed, repeat);
+  }
+  const size_t components = cc::num_components(labels);
 
-  std::printf("%s: %zu component(s) in %.4fs on %d thread(s)\n", algo.c_str(),
+  // stats.algorithm holds the concrete algorithm that ran ("auto" resolves
+  // to its selection before the inner run records it).
+  const char* ran = want_stats && stats.algorithm ? stats.algorithm
+                                                  : algorithm->name;
+  std::printf("%s: %zu component(s) in %.4fs on %d thread(s)\n", ran,
               components, elapsed, parallel::num_workers());
+
+  if (args.has("verbose") && stats.selected) {
+    const cc::probe_stats& ps = stats.probe;
+    std::printf(
+        "probe: n=%zu m=%zu sampled=%zu avg_degree=%.2f skew=%.2f "
+        "isolated=%.2f bfs_rounds=%zu bfs_visited=%zu "
+        "diameter_proxy=%.2f large_component=%s\n",
+        ps.n, ps.m, ps.sampled, ps.avg_degree, ps.degree_skew,
+        ps.isolated_fraction, ps.bfs_rounds, ps.bfs_visited, ps.diameter_proxy,
+        ps.large_component ? "yes" : "no");
+    std::printf("auto selected: %s\n", stats.algorithm);
+  }
 
   if (args.has("stats") && !stats.levels.empty()) {
     std::printf("levels:\n");

@@ -1,13 +1,14 @@
 // pcc_fuzz: differential testing harness. Generates random graphs across
-// generator families and sizes, runs EVERY connectivity implementation in
-// the library plus the spanning forest, and cross-checks all of them
-// against the sequential BFS oracle. Exits non-zero (and prints a
-// reproducer) on the first mismatch.
+// generator families and sizes, runs EVERY algorithm in the cc::algorithm
+// registry (including the Liu–Tarjan variants and "auto") plus the
+// spanning forest, and cross-checks all of them against the sequential BFS
+// oracle. Exits non-zero (and prints a reproducer) on the first mismatch.
 //
 //   pcc_fuzz --trials 200 --max-n 5000 --seed 1
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pcc.hpp"
@@ -42,6 +43,25 @@ const char* kind_name(uint64_t kind) {
   return names[kind % 7];
 }
 
+// Options for one registry entry in one trial. The decomp-* entries sweep
+// their pipeline knobs off the seed so the fuzzer exercises the whole
+// configuration space, not just the defaults.
+cc::cc_options options_for(std::string_view name, uint64_t s) {
+  cc::cc_options o;
+  o.seed = s;
+  if (name == "decomp-min") {
+    o.beta = 0.05 + (s % 18) * 0.05;  // sweep beta with the seed
+  } else if (name == "decomp-arb") {
+    o.dedup = s % 2 == 0;
+    o.parallel_edge_threshold = s % 3 == 0 ? 16 : SIZE_MAX;
+  } else if (name == "decomp-arb-hybrid") {
+    o.shifts = s % 2 != 0 ? ldd::shift_mode::kExponentialShifts
+                          : ldd::shift_mode::kPermutationChunks;
+    o.dense_threshold = 0.05 + (s % 5) * 0.1;
+  }
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -50,79 +70,10 @@ int main(int argc, char** argv) try {
   const size_t max_n = static_cast<size_t>(args.get_int("max-n", 4000));
   const uint64_t base_seed = static_cast<uint64_t>(args.get_int("seed", 1));
 
-  struct impl {
-    std::string name;
-    std::function<std::vector<vertex_id>(const graph::graph&, uint64_t)> run;
-  };
-  const std::vector<impl> impls = {
-      {"decomp-min-CC",
-       [](const graph::graph& g, uint64_t s) {
-         cc::cc_options o;
-         o.variant = cc::decomp_variant::kMin;
-         o.seed = s;
-         o.beta = 0.05 + (s % 18) * 0.05;  // sweep beta with the seed
-         return cc::connected_components(g, o);
-       }},
-      {"decomp-arb-CC",
-       [](const graph::graph& g, uint64_t s) {
-         cc::cc_options o;
-         o.variant = cc::decomp_variant::kArb;
-         o.seed = s;
-         o.dedup = s % 2 == 0;
-         o.parallel_edge_threshold = s % 3 == 0 ? 16 : SIZE_MAX;
-         return cc::connected_components(g, o);
-       }},
-      {"decomp-arb-hybrid-CC",
-       [](const graph::graph& g, uint64_t s) {
-         cc::cc_options o;
-         o.variant = cc::decomp_variant::kArbHybrid;
-         o.seed = s;
-         o.shifts = s % 2 != 0 ? ldd::shift_mode::kExponentialShifts
-                               : ldd::shift_mode::kPermutationChunks;
-         o.dense_threshold = 0.05 + (s % 5) * 0.1;
-         return cc::connected_components(g, o);
-       }},
-      {"parallel-SF-PRM",
-       [](const graph::graph& g, uint64_t) {
-         return baselines::parallel_sf_prm_components(g);
-       }},
-      {"parallel-SF-PBBS",
-       [](const graph::graph& g, uint64_t) {
-         return baselines::parallel_sf_pbbs_components(g);
-       }},
-      {"parallel-SF-REM",
-       [](const graph::graph& g, uint64_t) {
-         return baselines::parallel_sf_rem_components(g);
-       }},
-      {"hybrid-BFS-CC",
-       [](const graph::graph& g, uint64_t) {
-         return baselines::hybrid_bfs_components(g);
-       }},
-      {"multistep-CC",
-       [](const graph::graph& g, uint64_t) {
-         return baselines::multistep_components(g);
-       }},
-      {"label-prop-CC",
-       [](const graph::graph& g, uint64_t) {
-         return baselines::label_prop_components(g);
-       }},
-      {"shiloach-vishkin-CC",
-       [](const graph::graph& g, uint64_t) {
-         return baselines::shiloach_vishkin_components(g);
-       }},
-      {"random-mate-CC",
-       [](const graph::graph& g, uint64_t s) {
-         return baselines::random_mate_components(g, s);
-       }},
-      {"awerbuch-shiloach-CC",
-       [](const graph::graph& g, uint64_t) {
-         return baselines::awerbuch_shiloach_components(g);
-       }},
-      {"afforest-CC",
-       [](const graph::graph& g, uint64_t) {
-         return baselines::afforest_components(g);
-       }},
-  };
+  // One shared workspace across all trials: also fuzzes arena reuse, since
+  // every algorithm re-runs over a warm arena shaped by earlier graphs.
+  cc::algo_workspace ws;
+  std::vector<vertex_id> labels;
 
   parallel::rng gen(base_seed);
   size_t checks = 0;
@@ -133,10 +84,13 @@ int main(int argc, char** argv) try {
     const graph::graph g = make_graph(kind, n, seed);
     const auto oracle = graph::reference_components(g);
 
-    for (const auto& im : impls) {
-      if (!baselines::labels_equivalent(oracle, im.run(g, seed))) {
+    labels.assign(g.num_vertices(), 0);
+    for (const cc::algorithm& algo : cc::algorithms()) {
+      const cc::cc_options opt = options_for(algo.name, seed);
+      cc::run_algorithm(algo, g, opt, ws, labels);
+      if (!baselines::labels_equivalent(oracle, labels)) {
         std::printf("MISMATCH: %s on %s n=%zu seed=%llu (trial %d)\n",
-                    im.name.c_str(), kind_name(kind), n,
+                    algo.name, kind_name(kind), n,
                     static_cast<unsigned long long>(seed), t);
         return 1;
       }
@@ -168,8 +122,8 @@ int main(int argc, char** argv) try {
       std::printf("  %d/%d trials, %zu checks OK\n", t + 1, trials, checks);
     }
   }
-  std::printf("fuzz passed: %d trials, %zu checks, no mismatches\n", trials,
-              checks);
+  std::printf("fuzz passed: %d trials, %zu checks across %zu algorithms\n",
+              trials, checks, cc::algorithms().size());
   return 0;
 } catch (const pcc::tools::arg_error& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
