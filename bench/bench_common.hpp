@@ -140,6 +140,23 @@ inline void write_bench_json(const std::string& default_path,
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n",
                json_escape(bench_name).c_str(), parallel::num_workers());
+  // Build provenance (injected by bench/CMakeLists.txt) keeps the perf
+  // trajectory comparable across PRs: every result file says which
+  // commit, compiler, and flags produced it.
+#ifndef PCC_BENCH_GIT_SHA
+#define PCC_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef PCC_BENCH_COMPILER
+#define PCC_BENCH_COMPILER "unknown"
+#endif
+#ifndef PCC_BENCH_CXX_FLAGS
+#define PCC_BENCH_CXX_FLAGS ""
+#endif
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n  \"compiler\": \"%s\",\n",
+               json_escape(PCC_BENCH_GIT_SHA).c_str(),
+               json_escape(PCC_BENCH_COMPILER).c_str());
+  std::fprintf(f, "  \"cxx_flags\": \"%s\",\n",
+               json_escape(PCC_BENCH_CXX_FLAGS).c_str());
   std::fprintf(f, "  \"scale\": %.6g,\n  \"entries\": [\n", scale_factor());
   for (size_t i = 0; i < records.size(); ++i) {
     const bench_record& r = records[i];

@@ -113,6 +113,7 @@ decomp_info decomp_arb_into(work_graph& wg, const options& opt,
         [&](uint32_t fi, uint32_t dst, uint32_t src, uint32_t len) {
           const edge_id start = V[frontier[fi]];
           // Forward copy; dst <= src so overlapping ranges are safe.
+          // lint: private-write(leader task owns entry fi's whole CSR slice)
           std::copy(E.begin() + start + src, E.begin() + start + src + len,
                     E.begin() + start + dst);
         },

@@ -188,6 +188,7 @@ decomp_info decomp_arb_hybrid_into(work_graph& wg, const options& opt,
           run.partials,
           [&](uint32_t fi, uint32_t dst, uint32_t src, uint32_t len) {
             const edge_id start = V[frontier[fi]];
+            // lint: private-write(leader task owns entry fi's CSR slice)
             std::copy(E.begin() + start + src, E.begin() + start + src + len,
                       E.begin() + start + dst);
           },
@@ -247,6 +248,7 @@ decomp_info decomp_arb_hybrid_into(work_graph& wg, const options& opt,
         run.partials,
         [&](uint32_t vi, uint32_t dst, uint32_t src, uint32_t len) {
           const edge_id start = V[vi];
+          // lint: private-write(leader task owns entry vi's CSR slice)
           std::copy(E.begin() + start + src, E.begin() + start + src + len,
                     E.begin() + start + dst);
         },

@@ -143,9 +143,11 @@ ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
           run.partials,
           [&](uint32_t fi, uint32_t dst, uint32_t src, uint32_t len) {
             const edge_id start = wg.offsets[frontier[fi]];
+            // lint: private-write(leader task owns entry fi's CSR slice)
             std::copy(wg.targets.begin() + start + src,
                       wg.targets.begin() + start + src + len,
                       wg.targets.begin() + start + dst);
+            // lint: private-write(same leader-owned slice, witness array)
             std::copy(wg.witness.begin() + start + src,
                       wg.witness.begin() + start + src + len,
                       wg.witness.begin() + start + dst);

@@ -543,6 +543,7 @@ graph read_adjacency_parallel(const std::string& path, const io_options& opt) {
                                     // serial reader never reads them)
             if (!ok) {
               errs[b] = {tok, "malformed number at byte " +
+                                  // analyze: suppress(alloc-in-parallel: cold error path, one short string per failing chunk)
                                   std::to_string(tok)};
               break;
             }
@@ -681,6 +682,7 @@ graph read_snap_parallel(const std::string& path, const io_options& opt) {
               if (!scan_number(data, q, e, &u) ||
                   !scan_number(data, q, e, &v)) {
                 errs[b] = {line, "malformed edge at line " +
+                                     // analyze: suppress(alloc-in-parallel: cold error path, one short string per failing chunk)
                                      std::to_string(line)};
                 break;
               }

@@ -156,6 +156,7 @@ class workspace {
         0, nb,
         [&](size_t b) {
           const size_t lo = b * kBlock;
+          // lint: private-write(block b owns bytes [b*kBlock, b*kBlock+len))
           std::memset(base + lo, 0, std::min(kBlock, bytes - lo));
         },
         1);

@@ -120,6 +120,7 @@ size_t emit_pack(size_t n, std::span<T> out, workspace& ws, Body&& body,
       0, nb,
       [&](size_t b) {
         const size_t c = (b + 1 < nb ? counts[b + 1] : total) - counts[b];
+        // lint: private-write(exclusive-scan dest ranges are disjoint per b)
         std::memcpy(out.data() + counts[b], stage.data() + b * cap,
                     c * sizeof(T));
       },
@@ -355,10 +356,12 @@ frontier_result frontier_edge_for(size_t fs, Deg&& deg_of, std::span<T> out,
       [&](size_t c) {
         const size_t e =
             (c + 1 < nchunks ? counts[c + 1] : etotal) - counts[c];
+        // lint: private-write(exclusive-scan dest ranges are disjoint per c)
         std::memcpy(out.data() + counts[c], stage.data() + c * chunk,
                     e * sizeof(T));
         const size_t p =
             (c + 1 < nchunks ? pcounts[c + 1] : ptotal) - pcounts[c];
+        // lint: private-write(exclusive-scan piece ranges are disjoint per c)
         std::memcpy(partials.data() + pcounts[c], pstage.data() + 2 * c,
                     p * sizeof(frontier_piece));
       },
@@ -431,6 +434,7 @@ frontier_result frontier_edge_for(size_t fs, Deg&& deg_of, workspace& ws,
       [&](size_t c) {
         const size_t p =
             (c + 1 < nchunks ? pcounts[c + 1] : ptotal) - pcounts[c];
+        // lint: private-write(exclusive-scan piece ranges are disjoint per c)
         std::memcpy(partials.data() + pcounts[c], pstage.data() + 2 * c,
                     p * sizeof(frontier_piece));
       },

@@ -33,6 +33,7 @@ std::vector<size_t> histogram(size_t n, size_t buckets, Key&& key) {
           size_t* c = per_block.data() + b * buckets;
           const size_t lo = b * block;
           const size_t hi = std::min(n, lo + block);
+          // lint: private-write(block b owns counters [b*buckets, (b+1)*buckets))
           for (size_t i = lo; i < hi; ++i) ++c[key(i)];
         },
         1);

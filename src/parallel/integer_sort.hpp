@@ -40,9 +40,11 @@ void radix_pass(const T* in, T* out, size_t n, int shift, Key&& key,
       0, nb,
       [&](size_t b) {
         size_t* c = counts + b * kRadix;
+        // lint: private-write(block b owns counters [b*kRadix, (b+1)*kRadix))
         for (size_t d = 0; d < kRadix; ++d) c[d] = 0;
         const size_t lo = b * kSortBlock;
         const size_t hi = std::min(n, lo + kSortBlock);
+        // lint: private-write(same block-owned counter slice)
         for (size_t i = lo; i < hi; ++i) ++c[(key(in[i]) >> shift) & mask];
       },
       1);

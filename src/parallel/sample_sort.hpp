@@ -63,6 +63,7 @@ void sample_sort(std::vector<T>& v, Less less = Less{}, uint64_t seed = 0x5a) {
         const size_t lo = b * detail::kSampleSortBlock;
         const size_t hi = std::min(n, lo + detail::kSampleSortBlock);
         size_t* c = counts.data() + b * num_buckets;
+        // lint: private-write(block b owns counters [b*nbk, (b+1)*nbk))
         for (size_t i = lo; i < hi; ++i) ++c[bucket[i]];
       },
       1);

@@ -1,0 +1,25 @@
+// Positive fixtures for the annotation audit: an orphaned private-write
+// whose store vanished, one with empty invariant text, and a suppression
+// that suppresses nothing.
+#include "prelude.hpp"
+
+void orphaned(unsigned* D) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    // lint: private-write(slot i is owned by iteration i)
+    if (D[i]) return;
+  });
+}
+
+void empty_reason(unsigned* D) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    // lint: private-write()
+    D[i] = 0;
+  });
+}
+
+void unused_suppression(unsigned* D) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    // analyze: suppress(shared-write: nothing here actually races)
+    D[i] = 0;
+  });
+}

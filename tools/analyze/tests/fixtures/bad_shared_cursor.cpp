@@ -1,0 +1,16 @@
+// Positive fixtures for shared-cursor-emission: output slots claimed with
+// a fetch_add cursor, directly in the subscript or through a local.
+#include "prelude.hpp"
+
+void direct_cursor(unsigned* out, unsigned long* cur) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    out[pcc::parallel::fetch_add(cur, 1ul)] = static_cast<unsigned>(i);
+  });
+}
+
+void cursor_through_local(unsigned* out, unsigned long* cur) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    const unsigned long slot = pcc::parallel::fetch_add(cur, 1ul);
+    out[slot] = static_cast<unsigned>(i);
+  });
+}

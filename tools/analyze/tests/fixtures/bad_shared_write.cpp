@@ -1,0 +1,43 @@
+// Positive fixtures for the shared-write check: raw stores into captured
+// memory that are not owner-injective, not atomic, and not annotated.
+#include "prelude.hpp"
+
+// Arbitrary scatter: x[i] is not injective in the owner i.
+void raw_scatter(unsigned* D, const unsigned* x) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    D[x[i]] = 1;
+  });
+}
+
+// Same store laundered through a local alias of the captured pointer.
+void alias_scatter(unsigned* D, const unsigned* x) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    unsigned* d = D;
+    d[x[i]] = 1;
+  });
+}
+
+// The store hides one call level down; the callee writes through its
+// pointer parameter, so the call site is charged.
+static void bump(unsigned* p, unsigned long v) { p[v] += 1; }
+
+void callee_scatter(unsigned* D, const unsigned* x) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    bump(D, x[i]);
+  });
+}
+
+// Library writers count as stores through their destination argument.
+void writer_scatter(unsigned char* out, const unsigned char* in,
+                    const unsigned long* off) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    std::memcpy(out + off[i], in, 4);
+  });
+}
+
+// Compound assignment through a captured reference-like target.
+void compound(unsigned long* total) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    *total += i;
+  });
+}

@@ -1,0 +1,31 @@
+// Positive fixtures for workspace-escape: memory carved from a
+// locally-owned arena outliving the arena's scope, and arena mutation
+// inside a parallel body.
+#include "prelude.hpp"
+
+// The arena dies with the function; the returned pointer dangles.
+unsigned* leak_by_return(unsigned long n) {
+  pcc::parallel::workspace ws;
+  unsigned* s = ws.take<unsigned>(n);
+  return s;
+}
+
+struct sink {
+  unsigned* p;
+};
+
+// Storing the span into an out-parameter that outlives the arena.
+void leak_by_out_param(unsigned long n, sink& out) {
+  pcc::parallel::workspace ws;
+  unsigned* s = ws.take<unsigned>(n);
+  out.p = s;
+}
+
+// take() inside a parallel body: the bump cursor is not synchronized.
+void take_in_region(unsigned long n) {
+  pcc::parallel::workspace ws;
+  parallel_for(0, n, [&](unsigned long) {
+    unsigned* t = ws.take<unsigned>(16);
+    t[0] = 1;
+  });
+}

@@ -1,0 +1,25 @@
+// Negative fixtures for the annotation audit: an anchored annotation with
+// real invariant text, a suppression that suppresses a real finding (both
+// the new spelling and the legacy lint: allow one).
+#include "prelude.hpp"
+
+void anchored(unsigned* D, const unsigned* start) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    // lint: private-write(iteration i owns the row at start[i])
+    D[start[i]] = 1;
+  });
+}
+
+void used_suppression(unsigned* D, const unsigned* x) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    // analyze: suppress(shared-write: duplicate writes store the same value)
+    D[x[i]] = 1;
+  });
+}
+
+void used_legacy_suppression(unsigned* D, const unsigned* x) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    // lint: allow(raw-captured-write: idempotent flag set, benign race)
+    D[x[i]] = 1;
+  });
+}

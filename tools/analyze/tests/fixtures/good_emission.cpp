@@ -1,0 +1,19 @@
+// Negative fixtures for shared-cursor-emission: the emit.hpp vocabulary
+// and fetch_add used as a plain counter (no output subscript).
+#include "prelude.hpp"
+
+unsigned long packed_emission(unsigned long n, unsigned* out,
+                              pcc::parallel::workspace& ws,
+                              const unsigned* keep) {
+  return pcc::parallel::emit_pack<unsigned>(
+      n, out, ws,
+      [&](unsigned long i, pcc::parallel::emitter<unsigned>& em) {
+        if (keep[i]) em(static_cast<unsigned>(i));
+      });
+}
+
+void plain_counter(unsigned long* total) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    pcc::parallel::fetch_add(total, i);
+  });
+}

@@ -1,0 +1,19 @@
+// Negative fixtures for workspace-escape: value copies out of arena
+// memory are fine, and returning memory carved from a CALLER-owned arena
+// is the repo's `*_into` idiom.
+#include "prelude.hpp"
+
+// Values read out of the span are copies; nothing dangles.
+void value_copy_out(unsigned long n, unsigned* out) {
+  pcc::parallel::workspace ws;
+  unsigned* s = ws.take<unsigned>(n);
+  for (unsigned long i = 0; i < n; ++i) out[i] = s[i] + 1;
+}
+
+// The arena is a reference parameter: the caller owns its lifetime, so
+// handing back memory carved from it is the whole point (`*_into`).
+unsigned* carve_into(pcc::parallel::workspace& ws, unsigned long n) {
+  unsigned* s = ws.take<unsigned>(n);
+  s[0] = 0;
+  return s;
+}

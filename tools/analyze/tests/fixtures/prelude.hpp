@@ -1,0 +1,65 @@
+// Shared declarations for analyzer fixtures. Fixtures are analyzed, never
+// compiled, so these are the minimal shapes the checker keys on.
+#pragma once
+
+namespace pcc::parallel {
+template <typename F>
+void parallel_for(unsigned long lo, unsigned long hi, F&& f, long grain = 0);
+template <typename A, typename B>
+void par_do(A&& a, B&& b);
+template <typename T>
+T fetch_add(T* p, T v);
+template <typename T>
+bool cas(T* p, T expect, T desired);
+template <typename T>
+bool write_min(T* p, T v);
+template <typename T>
+void write_once(T* p, T v);
+template <typename T>
+T read_once(const T* p);
+
+struct workspace {
+  template <typename T>
+  T* take(unsigned long count);
+  struct scope {
+    explicit scope(workspace& w);
+  };
+};
+
+struct hash_map {
+  explicit hash_map(unsigned long capacity);
+  void insert(unsigned key, unsigned value);
+  bool find(unsigned key, unsigned* value) const;
+};
+
+template <typename T>
+struct emitter {
+  void operator()(const T& v);
+};
+template <typename T, typename F>
+unsigned long emit_pack(unsigned long n, T* out, workspace& ws, F&& f);
+}  // namespace pcc::parallel
+
+using pcc::parallel::parallel_for;
+using pcc::parallel::par_do;
+
+namespace std {
+template <typename T>
+struct function;
+template <typename T>
+struct vector {
+  explicit vector(unsigned long n);
+  unsigned long size() const;
+};
+template <typename K, typename V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  const value_type* begin() const;
+  const value_type* end() const;
+};
+void* memcpy(void* dst, const void* src, unsigned long n);
+int rand();
+}  // namespace std
