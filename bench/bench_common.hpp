@@ -8,17 +8,28 @@
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pcc.hpp"
 
 namespace pcc::bench {
+
+inline const char* backend_name(parallel::backend b) {
+  return b == parallel::backend::kThreadPool ? "pool" : "openmp";
+}
+
+inline const char* current_backend_name() {
+  return backend_name(parallel::current_backend());
+}
 
 inline double scale_factor() {
   const char* s = std::getenv("PCC_SCALE");
@@ -101,9 +112,12 @@ inline double median_time(const std::function<void()>& fn,
 // ---------------------------------------------------------------------------
 // Machine-readable results: every harness can dump its measurements as JSON
 // (results/BENCH_<name>.json) so the perf trajectory is tracked across
-// commits. One record per (kernel, graph) pair; the file carries the thread
-// count and bench scale the numbers were taken at. PCC_BENCH_JSON overrides
-// the output path; PCC_BENCH_JSON=off suppresses the file.
+// commits. One record per (kernel, graph, threads, backend) tuple — each
+// row carries the worker count and scheduler backend it was measured
+// under, so one file can hold a whole thread sweep; the top-level
+// "threads" field is only the global worker count at write time (kept for
+// older consumers). PCC_BENCH_JSON overrides the output path;
+// PCC_BENCH_JSON=off suppresses the file.
 
 struct bench_record {
   std::string kernel;  // kernel / implementation name
@@ -112,6 +126,12 @@ struct bench_record {
   // Registered algorithm that actually ran (for "auto" rows, the
   // selector's pick). Defaults to `kernel` in the JSON when empty.
   std::string algorithm;
+  // Worker count and scheduler backend the row was measured under.
+  // Defaulted from the global state at record creation so existing
+  // aggregate-initialized rows stay correct; thread-sweep harnesses set
+  // them explicitly per configuration.
+  int threads = parallel::num_workers();
+  std::string backend = current_backend_name();
 };
 
 inline std::string json_escape(const std::string& s) {
@@ -163,10 +183,12 @@ inline void write_bench_json(const std::string& default_path,
     std::fprintf(f,
                  "    {\"kernel\": \"%s\", \"graph\": \"%s\", "
                  "\"algorithm\": \"%s\", "
+                 "\"threads\": %d, \"backend\": \"%s\", "
                  "\"median_s\": %.9g, \"min_s\": %.9g, \"reps\": %d}%s\n",
                  json_escape(r.kernel).c_str(), json_escape(r.graph).c_str(),
                  json_escape(r.algorithm.empty() ? r.kernel : r.algorithm)
                      .c_str(),
+                 r.threads, json_escape(r.backend).c_str(),
                  r.stats.median_s, r.stats.min_s, r.stats.reps,
                  i + 1 < records.size() ? "," : "");
   }
@@ -223,15 +245,72 @@ inline std::vector<cc_impl> table2_implementations() {
   };
 }
 
-// Run fn with the given OpenMP worker count.
+// Run fn with the given worker count on the active backend.
 inline double timed_with_threads(int threads,
                                  const std::function<void()>& fn) {
   parallel::scoped_workers guard(threads);
   return median_time(fn);
 }
 
-// Honour PCC_THREADS (overrides the OpenMP default worker count).
+// Thread counts for scaling sweeps: every count up to min(4, ncores), the
+// powers of two up to max(4, ncores), and ncores itself — so 1..ncores is
+// covered geometrically with exact endpoints, and a 1-2 core host still
+// produces multi-thread rows (oversubscribed, but labeled by their real
+// `threads` value; the JSON never lies about what ran).
+// PCC_SWEEP_THREADS="1,2,8" overrides the list; a malformed list is
+// rejected with a diagnostic and the default is used instead.
+inline std::vector<int> sweep_thread_counts() {
+  std::vector<int> counts;
+  if (const char* s = std::getenv("PCC_SWEEP_THREADS")) {
+    const char* p = s;
+    bool ok = *p != '\0';
+    while (ok && *p != '\0') {
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(p, &end, 10);
+      if (end == p || errno == ERANGE || v < 1 || v > 1024 ||
+          (*end != '\0' && *end != ',')) {
+        ok = false;
+        break;
+      }
+      counts.push_back(static_cast<int>(v));
+      p = *end == ',' ? end + 1 : end;
+    }
+    if (!ok || counts.empty()) {
+      std::fprintf(stderr,
+                   "bench: ignoring invalid PCC_SWEEP_THREADS=\"%s\" "
+                   "(expected comma-separated integers in [1, 1024])\n",
+                   s);
+      counts.clear();
+    }
+  }
+  if (counts.empty()) {
+    const int hw =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    for (int t = 1; t <= std::min(4, hw); ++t) counts.push_back(t);
+    for (int t = 1; t <= std::max(4, hw); t *= 2) counts.push_back(t);
+    counts.push_back(hw);
+  }
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+// Honour PCC_BACKEND=openmp|pool (selects the scheduler backend) and
+// PCC_THREADS (overrides the active backend's default worker count).
 inline void apply_thread_env() {
+  if (const char* b = std::getenv("PCC_BACKEND")) {
+    if (std::strcmp(b, "pool") == 0) {
+      parallel::set_backend(parallel::backend::kThreadPool);
+    } else if (std::strcmp(b, "openmp") == 0) {
+      parallel::set_backend(parallel::backend::kOpenMP);
+    } else {
+      std::fprintf(stderr,
+                   "bench: ignoring unknown PCC_BACKEND=\"%s\" "
+                   "(expected openmp or pool)\n",
+                   b);
+    }
+  }
   const char* s = std::getenv("PCC_THREADS");
   if (s != nullptr) {
     const int t = std::atoi(s);
@@ -243,8 +322,9 @@ inline void print_header(const std::string& title) {
   apply_thread_env();
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
-  std::printf("(PCC_SCALE=%.3g, trials=%d, hardware threads=%d)\n",
-              scale_factor(), num_trials(), parallel::num_workers());
+  std::printf("(PCC_SCALE=%.3g, trials=%d, threads=%d, backend=%s)\n",
+              scale_factor(), num_trials(), parallel::num_workers(),
+              current_backend_name());
   std::printf("================================================================\n");
 }
 

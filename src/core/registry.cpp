@@ -7,6 +7,7 @@
 #include <cassert>
 #include <stdexcept>
 #include <vector>
+#include <thread>
 
 #include "baselines/baselines.hpp"
 #include "core/labeling.hpp"
@@ -121,7 +122,19 @@ void run_awerbuch_shiloach(const graph::graph& g, const cc_options&,
 void run_auto(const graph::graph& g, const cc_options& opt, algo_workspace& ws,
               std::span<vertex_id> out, cc_stats* stats) {
   const probe_stats ps = probe_graph(g, opt.seed, ws.scratch);
-  const char* pick = select_algorithm(ps, parallel::num_workers());
+  // The selector's >1-worker branches are about parallel speedup, and
+  // workers beyond the physical cores provide none: the fig8 thread sweep
+  // (results/BENCH_fig8_threads.json) shows oversubscribed decomp runs no
+  // faster than the core-count point, only noisier. num_workers() can
+  // legitimately exceed the core count (scoped_workers sweeps, the pool's
+  // lazily-spawned cap), so feed the selector min(workers, cores). Before
+  // the worker-count plumbing fix the pool backend fed its full spawned
+  // size here regardless of scoped_workers — auto picks now honour the
+  // caller's cap.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int workers = parallel::num_workers();
+  const char* pick =
+      select_algorithm(ps, hw > 0 ? std::min(workers, hw) : workers);
   const algorithm* chosen = find_algorithm(pick);
   assert(chosen != nullptr && chosen->run != &run_auto);
   run_algorithm(*chosen, g, opt, ws, out, stats);

@@ -48,7 +48,11 @@ probe_stats probe_graph(const graph::graph& g, uint64_t seed,
 
 // Map probed statistics to a registered algorithm name. Pure function of
 // (ps, num_workers); see DESIGN.md ("Selector heuristics") for the
-// decision tree and the calibration behind the thresholds.
+// decision tree and the calibration behind the thresholds. `num_workers`
+// should be the number of workers that can actually run concurrently —
+// callers clamp oversubscribed counts to the physical core count first
+// (registry.cpp's run_auto does; the fig8 thread sweep shows extra
+// workers past the cores buy no speedup).
 const char* select_algorithm(const probe_stats& ps, int num_workers);
 
 }  // namespace pcc::cc

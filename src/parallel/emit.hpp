@@ -77,6 +77,36 @@ class counting_emitter {
   size_t n_ = 0;
 };
 
+namespace detail {
+
+// Worker-count stability invariant: every emission primitive here sizes
+// its per-block / per-chunk staging from num_workers()-derived values at
+// entry and stitches the pieces back together at exit. A
+// set_num_workers() / scoped_workers change interleaving with an open
+// emission region would let the stitch-time worker view disagree with the
+// sizing. The pool backend structurally forbids this
+// (thread_pool::set_active_threads asserts no region is open); this
+// debug-only guard also catches an omp_set_num_threads sneaking in
+// through the OpenMP backend or from a visit body. Zero-size and
+// zero-cost in NDEBUG builds.
+class stable_workers_guard {
+ public:
+#ifndef NDEBUG
+  stable_workers_guard() : entry_(num_workers()) {}
+  ~stable_workers_guard() {
+    assert(num_workers() == entry_ &&
+           "worker count changed inside an open emission region");
+  }
+  stable_workers_guard(const stable_workers_guard&) = delete;
+  stable_workers_guard& operator=(const stable_workers_guard&) = delete;
+
+ private:
+  int entry_;
+#endif
+};
+
+}  // namespace detail
+
 // emit_pack: run body(i, emit) once for every i in [0, n); each call may
 // emit up to `max_per_index` items (default 1). Emitted items are packed
 // into `out` in index order; returns the total count. The body runs
@@ -94,6 +124,7 @@ size_t emit_pack(size_t n, std::span<T> out, workspace& ws, Body&& body,
     assert(em.count() <= out.size());
     return em.count();
   }
+  [[maybe_unused]] const detail::stable_workers_guard wg;
   workspace::scope s(ws);
   const size_t cap = grain * max_per_index;
   std::span<T> stage = ws.take<T>(nb * cap);
@@ -144,6 +175,7 @@ size_t count_then_emit(size_t n, std::span<T> out, workspace& ws, Body&& body,
     assert(em.count() <= out.size());
     return em.count();
   }
+  [[maybe_unused]] const detail::stable_workers_guard wg;
   workspace::scope s(ws);
   std::span<size_t> counts = ws.take<size_t>(nb);
   parallel_for(
@@ -278,6 +310,7 @@ frontier_result frontier_edge_for(size_t fs, Deg&& deg_of, std::span<T> out,
     res.emitted = em.count();
     return res;
   }
+  [[maybe_unused]] const detail::stable_workers_guard wg;
   const edge_id total = reduce_sum_ws<edge_id>(
       fs, [&](size_t fi) { return static_cast<edge_id>(deg_of(fi)); }, ws);
   if (total == 0) return res;
@@ -388,6 +421,7 @@ frontier_result frontier_edge_for(size_t fs, Deg&& deg_of, workspace& ws,
     }
     return res;
   }
+  [[maybe_unused]] const detail::stable_workers_guard wg;
   const edge_id total = reduce_sum_ws<edge_id>(
       fs, [&](size_t fi) { return static_cast<edge_id>(deg_of(fi)); }, ws);
   if (total == 0) return res;

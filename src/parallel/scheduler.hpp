@@ -4,7 +4,7 @@
 // the algorithms scheduler-agnostic: they call pcc::parallel::parallel_for
 // and pcc::parallel::par_do, which dispatch at runtime to either
 //   - OpenMP (default), or
-//   - the library's own work-sharing thread pool (parallel/thread_pool.hpp),
+//   - the library's own work-stealing thread pool (parallel/thread_pool.hpp),
 // selected with set_backend(). The whole test suite runs under both, so
 // swapping in a third scheduler (Cilk, TBB, ...) only means reimplementing
 // the two functions below.
@@ -140,22 +140,42 @@ inline int worker_id() {
   return omp_get_thread_num();
 }
 
-// Set the number of worker threads (global; OpenMP backend — the pool's
-// size is fixed at creation, its dynamic chunking makes the distinction
-// harmless for correctness).
-inline void set_num_workers(int n) { omp_set_num_threads(std::max(1, n)); }
+// Set the number of worker threads on the ACTIVE backend (global). On
+// OpenMP this is omp_set_num_threads; on the pool backend it bounds the
+// pool's active-thread cap (parking or lazily spawning workers as needed),
+// so num_workers(), worker_id(), emit.hpp's per-worker staging sizes and
+// speculative_for's granularity all read the same capped value. Must not
+// be called while a parallel region is open (the pool asserts this; see
+// emit.hpp for why the invariant matters).
+inline void set_num_workers(int n) {
+  if (current_backend() == backend::kThreadPool) {
+    thread_pool::instance().set_active_threads(
+        static_cast<size_t>(std::max(1, n)));
+    return;
+  }
+  omp_set_num_threads(std::max(1, n));
+}
 
 // RAII guard that sets the worker count and restores the previous value.
+// Both the save and the restore target the backend that was active at
+// construction, so a guard opened on the pool backend restores the pool's
+// cap (and leaves the OpenMP setting untouched) even if the current
+// backend changed in between.
 class scoped_workers {
  public:
-  explicit scoped_workers(int n) : saved_(omp_get_max_threads()) {
+  explicit scoped_workers(int n)
+      : backend_(current_backend()), saved_(num_workers()) {
     set_num_workers(n);
   }
-  ~scoped_workers() { set_num_workers(saved_); }
+  ~scoped_workers() {
+    const scoped_backend restore_on_saved_backend(backend_);
+    set_num_workers(saved_);
+  }
   scoped_workers(const scoped_workers&) = delete;
   scoped_workers& operator=(const scoped_workers&) = delete;
 
  private:
+  backend backend_;
   int saved_;
 };
 

@@ -67,6 +67,9 @@ template <typename Step>
 size_t speculative_for(Step& step, size_t num_iterates,
                        size_t granularity = 0) {
   if (granularity == 0) {
+    // num_workers() reports the active backend's capped value (the pool's
+    // active-thread cap, not its spawned size), so the batch size tracks
+    // scoped_workers consistently with emit.hpp's per-worker sizing.
     granularity = std::max<size_t>(64, 16 * static_cast<size_t>(num_workers()));
   }
 

@@ -430,6 +430,58 @@ def _pointer_escape(nodes: list, names: set[str]) -> bool:
     return walk(nodes)
 
 
+_CAST_HEADS = {"static_cast", "const_cast", "reinterpret_cast"}
+_INT_TYPE_HEADS = {"int", "unsigned", "long", "short", "signed", "size_t",
+                   "ptrdiff_t", "uint32_t", "uint64_t", "int32_t", "int64_t",
+                   "uintptr_t", "intptr_t"}
+
+
+def _is_worker_id_call(nodes: list) -> bool:
+    """True iff the expression is exactly a (possibly qualified, possibly
+    cast-wrapped) call `worker_id()` — e.g. `worker_id()`,
+    `pcc::parallel::worker_id()`, `static_cast<size_t>(worker_id())`.
+    NOTE: does not use _strip_casts, which would peel the nullary call
+    itself; only recognized cast spellings are descended so `f(worker_id())`
+    with an arbitrary `f` is NOT accepted."""
+    while True:
+        toks = [x for x in nodes if not (not x.is_group() and x.text == "::")]
+        if len(toks) == 1 and toks[0].is_group() and toks[0].opener == "(":
+            nodes = toks[0].kids
+            continue
+        if len(toks) < 2:
+            return False
+        call = toks[-1]
+        if not (call.is_group() and call.opener == "(" and
+                all(not t.is_group() for t in toks[:-1])):
+            return False
+        if not call.kids:
+            return (toks[-2].text == "worker_id" and
+                    all(t.kind == "id" for t in toks[:-1]))
+        head = toks[0].text
+        if head in _CAST_HEADS or (len(toks) == 2 and
+                                   head in _INT_TYPE_HEADS):
+            nodes = call.kids
+            continue
+        return False
+
+
+def worker_slot_index(sub: list, worker_locals: set[str]) -> bool:
+    """True iff the subscript pins the touched cell to the calling worker:
+    exactly `worker_id()` or exactly a local initialized from worker_id().
+    Distinct workers get distinct slots and a worker re-writing its own
+    slot races with nobody, so such stores are per-owner private — the
+    parked-worker / per-worker-deque pattern (each participant owns the
+    deque at its own worker index). Deliberately narrow: any arithmetic
+    around the id (`worker_id() + i`, `base - worker_id()`) can collide
+    across workers and stays flagged."""
+    if _is_worker_id_call(sub):
+        return True
+    toks = [x for x in _strip_casts(sub)
+            if not (not x.is_group() and x.text == "::")]
+    return (len(toks) == 1 and not toks[0].is_group() and
+            toks[0].text in worker_locals)
+
+
 def injective_in_owner(nodes: list, owner: str | None, is_invariant) -> bool:
     """True iff the index expression provably takes distinct values for
     distinct values of `owner` while everything else is loop-invariant:
@@ -443,6 +495,14 @@ def injective_in_owner(nodes: list, owner: str | None, is_invariant) -> bool:
         return False
     owner_parts = []
     for sign, part in parts:
+        # Checked BEFORE stripping: _strip_casts treats the nullary call
+        # `worker_id()` itself as a cast-like wrapper and peels it to
+        # nothing, which would make the part look vacuously invariant.
+        # worker_id() varies per THREAD, not per iteration: an owner term
+        # plus a worker offset can collide across workers (wid 0 at i=5 ==
+        # wid 1 at i=4), so it is never a loop-invariant offset.
+        if "worker_id" in set(_ids_in(part)):
+            return False
         part = _strip_casts(part)
         ids = set(_ids_in(part))
         if owner in ids:
@@ -766,9 +826,17 @@ class Analyzer:
         if not target_shared:
             return
         # owner-indexed disjointness: any subscript level injective in the
-        # owner parameter makes the touched cells iteration-private
+        # owner parameter makes the touched cells iteration-private; a
+        # subscript that is exactly the calling worker's id pins the cell
+        # to one thread (per-worker slot / parked-worker deque pattern)
+        worker_locals = {
+            name for name, d in region.locals.items()
+            if d.init and _is_worker_id_call(list(d.init))
+        }
         for sub in lv.subscripts:
             if injective_in_owner(sub, region.owner, invariant):
+                return
+            if worker_slot_index(sub, worker_locals):
                 return
         self.report(
             ctx, store.line, store.col, "shared-write",

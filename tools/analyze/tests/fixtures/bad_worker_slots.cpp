@@ -1,0 +1,19 @@
+// Positive fixtures for per-worker-slot stores: the worker-slot exemption
+// is exactly `worker_id()` (or a local holding it) — any arithmetic
+// around the id can collide across workers and must still be flagged.
+#include "prelude.hpp"
+
+// worker_id() + i: two workers can land on the same cell.
+void offset_from_worker_id(unsigned* counts) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    counts[pcc::parallel::worker_id() + i] = 1;  // finding: shared-write
+  });
+}
+
+// A local derived from worker_id() with arithmetic is not a bare slot id.
+void derived_from_worker_id(unsigned* counts, unsigned stride) {
+  parallel_for(0, 64, [&](unsigned long) {
+    const unsigned base = pcc::parallel::worker_id() * stride;
+    counts[base] = 1;  // finding: shared-write
+  });
+}

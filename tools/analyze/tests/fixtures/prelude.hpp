@@ -17,6 +17,7 @@ template <typename T>
 void write_once(T* p, T v);
 template <typename T>
 T read_once(const T* p);
+int worker_id();
 
 struct workspace {
   template <typename T>

@@ -73,6 +73,28 @@ class SharedWriteTests(unittest.TestCase):
                          msg="\n".join(f.message for f in findings))
 
 
+class WorkerSlotTests(unittest.TestCase):
+    """Per-worker-slot stores: a subscript that is exactly worker_id()
+    (or a local holding it) pins the cell to one thread — the thread
+    pool's parked-worker deque fields and per-worker counters are
+    per-owner, not shared."""
+
+    def test_negative_fixture(self):
+        findings = analyze("good_worker_slots.cpp")
+        self.assertEqual(findings, [],
+                         msg="\n".join(f.message for f in findings))
+
+    def test_positive_fixture(self):
+        findings = active(analyze("bad_worker_slots.cpp"))
+        self.assertEqual([f.check for f in findings], ["shared-write"] * 2)
+        # worker_id() + i offset, then the derived (scaled) local —
+        # arithmetic around the id is never exempt.
+        self.assertIn("counts[pcc::parallel::worker_id() + i] = 1;",
+                      line_text("bad_worker_slots.cpp", findings[0].line))
+        self.assertIn("counts[base] = 1;",
+                      line_text("bad_worker_slots.cpp", findings[1].line))
+
+
 class SharedCursorTests(unittest.TestCase):
     def test_positive_fixture(self):
         findings = active(analyze("bad_shared_cursor.cpp"))
