@@ -123,8 +123,11 @@ struct bench_record {
   std::string kernel;  // kernel / implementation name
   std::string graph;   // input id ("random", "n=16384", ...)
   time_stats stats;
-  // Registered algorithm that actually ran (for "auto" rows, the
-  // selector's pick). Defaults to `kernel` in the JSON when empty.
+  // Registered cc::algorithm behind the row (for "auto" rows, the
+  // selector's pick). Left empty for rows with no registry algorithm
+  // behind them — micro kernels, primitives — and OMITTED from the JSON
+  // then (it used to default to `kernel`, which made the field a lie for
+  // every micro row).
   std::string algorithm;
   // Worker count and scheduler backend the row was measured under.
   // Defaulted from the global state at record creation so existing
@@ -132,6 +135,9 @@ struct bench_record {
   // them explicitly per configuration.
   int threads = parallel::num_workers();
   std::string backend = current_backend_name();
+  // Locality relabeling the input was under when measured (reorder_name
+  // spelling; "none" unless the harness relabeled the graph).
+  std::string reorder = "none";
 };
 
 inline std::string json_escape(const std::string& s) {
@@ -180,15 +186,20 @@ inline void write_bench_json(const std::string& default_path,
   std::fprintf(f, "  \"scale\": %.6g,\n  \"entries\": [\n", scale_factor());
   for (size_t i = 0; i < records.size(); ++i) {
     const bench_record& r = records[i];
+    std::string algorithm_field;
+    if (!r.algorithm.empty()) {
+      algorithm_field =
+          "\"algorithm\": \"" + json_escape(r.algorithm) + "\", ";
+    }
     std::fprintf(f,
-                 "    {\"kernel\": \"%s\", \"graph\": \"%s\", "
-                 "\"algorithm\": \"%s\", "
+                 "    {\"kernel\": \"%s\", \"graph\": \"%s\", %s"
                  "\"threads\": %d, \"backend\": \"%s\", "
+                 "\"reorder\": \"%s\", "
                  "\"median_s\": %.9g, \"min_s\": %.9g, \"reps\": %d}%s\n",
                  json_escape(r.kernel).c_str(), json_escape(r.graph).c_str(),
-                 json_escape(r.algorithm.empty() ? r.kernel : r.algorithm)
-                     .c_str(),
-                 r.threads, json_escape(r.backend).c_str(),
+                 algorithm_field.c_str(), r.threads,
+                 json_escape(r.backend).c_str(),
+                 json_escape(r.reorder).c_str(),
                  r.stats.median_s, r.stats.min_s, r.stats.reps,
                  i + 1 < records.size() ? "," : "");
   }

@@ -162,8 +162,9 @@ std::span<const vertex_id> cc_engine::run(const graph::graph& g,
 
     // G' = CONTRACT(G, L)
     parallel::timer contract_timer;
-    const contraction_view cv = contract_into(
-        cur, cluster, opt.dedup, persist_, graph_[1 - ping], scratch_);
+    const contraction_view cv =
+        contract_into(cur, cluster, opt.dedup, persist_, graph_[1 - ping],
+                      scratch_, opt.dedup_route);
     if (stats != nullptr) {
       stats->phases.add("contractGraph", contract_timer.elapsed());
       level_stats ls;
@@ -177,6 +178,7 @@ std::span<const vertex_id> cc_engine::run(const graph::graph& g,
                               : 0;
       ls.bfs_rounds = dec.num_rounds;
       ls.dense_rounds = dec.num_dense_rounds;
+      ls.dedup_route = cv.dedup_route;
       stats->levels.push_back(ls);
     }
 

@@ -4,6 +4,7 @@
 
 #include "core/connectivity.hpp"
 
+#include <cassert>
 #include <unordered_set>
 
 #include "core/cc_engine.hpp"
@@ -29,6 +30,39 @@ const char* variant_name(decomp_variant v) {
       return "decomp-arb-hybrid-CC";
   }
   return "?";
+}
+
+const char* reorder_policy_name(reorder_policy p) {
+  switch (p) {
+    case reorder_policy::kAuto:
+      return "auto";
+    case reorder_policy::kNone:
+      return "none";
+    case reorder_policy::kDegree:
+      return "degree";
+    case reorder_policy::kHub:
+      return "hub";
+    case reorder_policy::kBfs:
+      return "bfs";
+  }
+  return "?";
+}
+
+graph::reorder_mode reorder_mode_of(reorder_policy p) {
+  switch (p) {
+    case reorder_policy::kNone:
+      return graph::reorder_mode::kNone;
+    case reorder_policy::kDegree:
+      return graph::reorder_mode::kDegree;
+    case reorder_policy::kHub:
+      return graph::reorder_mode::kHub;
+    case reorder_policy::kBfs:
+      return graph::reorder_mode::kBfs;
+    case reorder_policy::kAuto:
+      break;
+  }
+  assert(!"reorder_mode_of(kAuto)");
+  return graph::reorder_mode::kNone;
 }
 
 std::vector<vertex_id> connected_components(const graph::graph& g,

@@ -10,9 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "core/contract.hpp"
 #include "core/ldd.hpp"
 #include "core/select.hpp"
 #include "graph/graph.hpp"
+#include "graph/reorder.hpp"
 #include "parallel/timer.hpp"
 
 namespace pcc::cc {
@@ -24,6 +26,19 @@ enum class decomp_variant {
 };
 
 const char* variant_name(decomp_variant v);
+
+// Locality relabeling policy (cc_options::reorder; see graph/reorder.hpp
+// and DESIGN.md "The locality layer"). kAuto defers to the selector —
+// select_reorder() fires only for algorithm == "auto", on large skewed
+// giant-component graphs; every other value pins a graph::reorder_mode
+// (kNone disables relabeling outright). Whatever runs, labels come back
+// in original vertex ids — the relabeled CSR is never user-visible.
+enum class reorder_policy : uint8_t { kAuto, kNone, kDegree, kHub, kBfs };
+
+const char* reorder_policy_name(reorder_policy p);
+
+// The pinned mode of a non-kAuto policy (kAuto asserts).
+graph::reorder_mode reorder_mode_of(reorder_policy p);
 
 struct cc_options {
   // Which registered algorithm answers the query (see core/registry.hpp).
@@ -41,6 +56,13 @@ struct cc_options {
   // Remove duplicate inter-cluster edges when contracting (paper default;
   // correctness holds either way).
   bool dedup = true;
+  // Duplicate-removal route when dedup is on: kAuto picks per level via
+  // choose_dedup_route from that level's measured edge/vertex counts;
+  // kHash / kSort pin one route. Pure performance knob — the contracted
+  // CSR is byte-identical either way.
+  dedup_strategy dedup_route = dedup_strategy::kAuto;
+  // Locality relabeling applied around the selected algorithm.
+  reorder_policy reorder = reorder_policy::kAuto;
   uint64_t seed = 42;
   double dense_threshold = 0.2;  // hybrid read/write switch point
   // Historical, now ignored: rounds are edge-balanced unconditionally
@@ -62,6 +84,9 @@ struct level_stats {
   size_t num_singletons = 0;
   size_t bfs_rounds = 0;
   size_t dense_rounds = 0;
+  // Dedup route the contraction took at this level: "hash", "sort", or
+  // "off" (static string, never owned).
+  const char* dedup_route = "off";
 };
 
 struct cc_stats {
@@ -74,6 +99,11 @@ struct cc_stats {
   const char* algorithm = nullptr;
   bool selected = false;  // true when "auto" consulted the probe
   probe_stats probe;      // the probed statistics (valid when `selected`)
+  // Locality relabeling actually applied ("none" unless the reorder
+  // wrapper ran; static string from graph::reorder_name). The build +
+  // relabel + map-back cost is in phases under "reorder" — callers that
+  // amortize the transform over repeated queries report it separately.
+  const char* reorder = "none";
 };
 
 // Algorithm 1: recursive decompose-contract-relabel connectivity.

@@ -9,6 +9,7 @@
 
 #include "core/contract.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "graph/builder.hpp"
@@ -54,11 +55,51 @@ namespace {
 using parallel::parallel_for;
 }  // namespace
 
+const char* dedup_strategy_name(dedup_strategy s) {
+  switch (s) {
+    case dedup_strategy::kAuto:
+      return "auto";
+    case dedup_strategy::kHash:
+      return "hash";
+    case dedup_strategy::kSort:
+      return "sort";
+  }
+  return "?";
+}
+
+dedup_strategy choose_dedup_route(size_t m, size_t k) {
+  if (m == 0) return dedup_strategy::kSort;
+  // Cost model, calibrated on the BM_SortDedup / BM_HashSetDedup micro
+  // pair (1 thread, n=2^18 pairs: sort 2.0x faster at duplication 1, 1.5x
+  // at 4, hash ~1.1x faster at 16): the sort route is ceil(2b/8) radix
+  // passes of streaming sweeps over m packed keys (b = bits per
+  // contracted id); the hash route is one random probe per key into a
+  // ~2m-slot table plus the same sort over the survivors. A streaming
+  // pass is far cheaper per element than a cold random probe, so sort
+  // wins while keys are narrow — EXCEPT when the undirected pair space
+  // k^2/2 is saturated (duplication at least m/(k^2/2)): then the table's
+  // hot set is tiny and stays cached, probes get cheap, and the survivor
+  // sort shrinks by the duplication factor. Measured crossover ~16x.
+  const int passes = (2 * parallel::bits_needed(k == 0 ? 1 : k) + 7) / 8;
+  const double cap =
+      k == 0 ? 1.0 : std::max(1.0, 0.5 * static_cast<double>(k) *
+                                       static_cast<double>(k));
+  const double dup_est =
+      static_cast<double>(m) / std::min(static_cast<double>(m), cap);
+  if (dup_est >= 16.0) return dedup_strategy::kHash;
+  if (passes <= 4) return dedup_strategy::kSort;
+  // Wide key: the probe (~3 pass-equivalents, cold) beats 5+ passes once
+  // duplication shrinks the survivor sort meaningfully.
+  const size_t dup_ratio = k == 0 ? m : m / k;
+  return dup_ratio >= 8 ? dedup_strategy::kHash : dedup_strategy::kSort;
+}
+
 contraction_view contract_into(const ldd::work_graph& wg,
                                std::span<const vertex_id> cluster, bool dedup,
                                parallel::workspace& persist_ws,
                                parallel::workspace& graph_ws,
-                               parallel::workspace& scratch_ws) {
+                               parallel::workspace& scratch_ws,
+                               dedup_strategy strategy) {
   const size_t n = wg.n;
   std::span<const edge_id> V = wg.offsets;
   std::span<const vertex_id> E = wg.edges;
@@ -128,34 +169,58 @@ contraction_view contract_into(const ldd::work_graph& wg,
     }
   });
 
-  if (dedup && !pairs.empty()) {
-    // Phase-concurrent insert; the winner of each key emits it, and
-    // emit_pack's block-local staging packs the winners in index order —
-    // no shared cursor, and the compacted array's order depends only on
-    // which duplicate won each insert race (the sort below is total on the
-    // distinct keys, so the final CSR is deterministic regardless).
-    std::span<uint64_t> slots = scratch_ws.take<uint64_t>(
-        parallel::hash_set64_view::slots_needed(pairs.size()));
-    parallel::hash_set64_view set(slots);
-    std::span<uint64_t> deduped = scratch_ws.take<uint64_t>(pairs.size());
-    const size_t num_deduped = parallel::emit_pack<uint64_t>(
-        pairs.size(), deduped, scratch_ws,
-        [&](size_t i, parallel::emitter<uint64_t>& em) {
-          if (set.insert(pairs[i])) em(pairs[i]);
-        });
-    pairs = deduped.first(num_deduped);
-  }
-
-  // Semisort: one radix sort by the packed (src, tgt) key clusters each
-  // contracted vertex's edges together (and orders them, which keeps the
-  // output deterministic whether or not dedup ran). The key extractor
-  // compacts the two id fields so the radix passes cover both.
+  // Semisort key: the packed (src, tgt) pair with the two id fields
+  // compacted so the radix passes cover both. One total sort by this key
+  // clusters each contracted vertex's edges together and orders them, which
+  // keeps the output deterministic whether or not dedup ran — and a set of
+  // pairs has exactly one sorted order, so both dedup routes below produce
+  // a byte-identical contracted CSR.
   const int b = parallel::bits_needed(k == 0 ? 1 : k);
   const uint64_t tmask = b >= 32 ? ~uint32_t{0} : (uint64_t{1} << b) - 1;
-  parallel::integer_sort_span(
-      pairs, 2 * b,
-      [b, tmask](uint64_t p) { return ((p >> 32) << b) | (p & tmask); },
-      scratch_ws);
+  const auto key = [b, tmask](uint64_t p) {
+    return ((p >> 32) << b) | (p & tmask);
+  };
+
+  bool sorted = false;
+  if (dedup && !pairs.empty()) {
+    const dedup_strategy route = strategy == dedup_strategy::kAuto
+                                     ? choose_dedup_route(total_kept, k)
+                                     : strategy;
+    out.dedup_route = dedup_strategy_name(route);
+    if (route == dedup_strategy::kSort) {
+      // Sort-dedup: sort first (folding in the semisort the contraction
+      // needs anyway), then drop adjacent duplicates with a scan-pack.
+      parallel::integer_sort_span(pairs, 2 * b, key, scratch_ws);
+      std::span<uint64_t> deduped = scratch_ws.take<uint64_t>(pairs.size());
+      const size_t num_deduped = parallel::emit_pack<uint64_t>(
+          pairs.size(), deduped, scratch_ws,
+          [&](size_t i, parallel::emitter<uint64_t>& em) {
+            if (i == 0 || pairs[i] != pairs[i - 1]) em(pairs[i]);
+          });
+      pairs = deduped.first(num_deduped);
+      sorted = true;
+    } else {
+      // Phase-concurrent insert; the winner of each key emits it, and
+      // emit_pack's block-local staging packs the winners in index order —
+      // no shared cursor, and the compacted array's order depends only on
+      // which duplicate won each insert race (the sort below is total on
+      // the distinct keys, so the final CSR is deterministic regardless).
+      std::span<uint64_t> slots = scratch_ws.take<uint64_t>(
+          parallel::hash_set64_view::slots_needed(pairs.size()));
+      parallel::hash_set64_view set(slots);
+      std::span<uint64_t> deduped = scratch_ws.take<uint64_t>(pairs.size());
+      const size_t num_deduped = parallel::emit_pack<uint64_t>(
+          pairs.size(), deduped, scratch_ws,
+          [&](size_t i, parallel::emitter<uint64_t>& em) {
+            if (set.insert(pairs[i])) em(pairs[i]);
+          });
+      pairs = deduped.first(num_deduped);
+    }
+  }
+
+  if (!sorted) {
+    parallel::integer_sort_span(pairs, 2 * b, key, scratch_ws);
+  }
 
   const graph::csr_spans csr =
       graph::from_sorted_pairs_into(k, pairs, graph_ws, scratch_ws);
@@ -165,12 +230,12 @@ contraction_view contract_into(const ldd::work_graph& wg,
 }
 
 contraction contract(const ldd::work_graph& wg, const ldd::result& dec,
-                     bool dedup) {
+                     bool dedup, dedup_strategy strategy) {
   parallel::workspace persist_ws;
   parallel::workspace graph_ws;
   parallel::workspace scratch_ws;
   const contraction_view cv = contract_into(
-      wg, dec.cluster, dedup, persist_ws, graph_ws, scratch_ws);
+      wg, dec.cluster, dedup, persist_ws, graph_ws, scratch_ws, strategy);
 
   contraction out;
   out.num_clusters = dec.num_clusters;

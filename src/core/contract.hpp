@@ -10,6 +10,32 @@
 
 namespace pcc::cc {
 
+// How duplicate inter-cluster edges are removed during contraction.
+//   kHash  phase-concurrent hash-set insert (the paper's choice): one
+//          random probe per edge into a ~2m-slot table, then a radix sort
+//          over the survivors.
+//   kSort  sort-dedup: radix sort the packed (src, tgt) pairs first, then
+//          drop adjacent duplicates with a scan-pack. All sweeps are
+//          sequential-access, and the sort the contraction needs anyway is
+//          folded in.
+//   kAuto  choose_dedup_route() picks per level from the measured
+//          inter-cluster edge count and the contracted vertex count.
+// Both routes produce the identical deduplicated, sorted pair array (a set
+// has one sorted order), so the contracted CSR is byte-identical either
+// way — the choice is purely a performance knob.
+enum class dedup_strategy : uint8_t { kAuto, kHash, kSort };
+
+const char* dedup_strategy_name(dedup_strategy s);
+
+// The kAuto decision: pure function of the directed inter-cluster edge
+// count `m` and the contracted vertex count `k`. Calibrated against the
+// BM_SortDedup / BM_HashSetDedup micro pair (results/BENCH_micro.json; see
+// EXPERIMENTS.md "Dedup route micro pair"): the radix route wins whenever
+// its pass count over m beats one random probe per edge into a 2m-slot
+// table, which on the measured corpus is every narrow-key level; the hash
+// route only pays off when the key is wide AND duplication is light.
+dedup_strategy choose_dedup_route(size_t m, size_t k);
+
 // Result of contracting a decomposed graph.
 struct contraction {
   // The contracted graph: one vertex per non-singleton cluster (a cluster
@@ -35,6 +61,9 @@ struct contraction_view {
   std::span<vertex_id> rep;     // size k
   size_t num_vertices = 0;      // k = non-singleton clusters
   size_t edges_before_dedup = 0;
+  // Route actually used for duplicate removal: "hash", "sort", or "off"
+  // when dedup was disabled (static string, never owned).
+  const char* dedup_route = "off";
 };
 
 // Workspace-backed core: contract `wg` according to `cluster` (the
@@ -49,13 +78,15 @@ contraction_view contract_into(const ldd::work_graph& wg,
                                std::span<const vertex_id> cluster, bool dedup,
                                parallel::workspace& persist_ws,
                                parallel::workspace& graph_ws,
-                               parallel::workspace& scratch_ws);
+                               parallel::workspace& scratch_ws,
+                               dedup_strategy strategy = dedup_strategy::kAuto);
 
 // Vector-returning convenience wrapper over contract_into (tests, examples,
 // one-shot callers). When `dedup` is set, duplicate edges between cluster
-// pairs are removed with a phase-concurrent hash table (the paper notes the
-// algorithm stays correct without it; it is an ablation knob here).
+// pairs are removed via `strategy` (the paper notes the algorithm stays
+// correct without dedup; it is an ablation knob here).
 contraction contract(const ldd::work_graph& wg, const ldd::result& dec,
-                     bool dedup = true);
+                     bool dedup = true,
+                     dedup_strategy strategy = dedup_strategy::kAuto);
 
 }  // namespace pcc::cc

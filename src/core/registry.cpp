@@ -12,8 +12,10 @@
 #include "baselines/baselines.hpp"
 #include "core/labeling.hpp"
 #include "core/select.hpp"
+#include "graph/reorder.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/scheduler.hpp"
+#include "parallel/timer.hpp"
 
 namespace pcc::cc {
 
@@ -118,6 +120,57 @@ void run_awerbuch_shiloach(const graph::graph& g, const cc_options&,
   copy_labels(baselines::awerbuch_shiloach_components(g), out);
 }
 
+// --- the reorder wrapper -------------------------------------------------
+// Run `algo` on a relabeled copy of g and map the labels back to original
+// vertex ids (contract in graph/reorder.hpp). Applied by run_algorithm for
+// a pinned cc_options::reorder and by run_auto when select_reorder fires.
+// algo.run never consults opt.reorder, so the options pass through
+// unchanged and a query is wrapped at most once. The relabeled CSR's
+// storage is recycled through the workspace vectors, so repeated wrapped
+// queries stop allocating once the capacities are warm.
+void run_reordered(const algorithm& algo, const graph::graph& g,
+                   const cc_options& opt, graph::reorder_mode mode,
+                   algo_workspace& ws, std::span<vertex_id> out,
+                   cc_stats* stats) {
+  const size_t n = g.num_vertices();
+  parallel::timer build_timer;
+  ws.perm.resize(n);
+  ws.inv.resize(n);
+  graph::build_reorder_perm_into(g, mode, ws.perm, ws.inv, ws.scratch);
+  graph::relabel_into(g, ws.perm, ws.inv, ws.reorder_offsets,
+                      ws.reorder_edges, ws.scratch);
+  graph::graph rg(std::move(ws.reorder_offsets),
+                  std::move(ws.reorder_edges));
+  ws.staged_labels.resize(n);
+  if (stats != nullptr) {
+    stats->reorder = graph::reorder_name(mode);
+    stats->phases.add("reorder", build_timer.elapsed());
+  }
+
+  algo.run(rg, opt, ws, ws.staged_labels, stats);
+
+  parallel::timer map_timer;
+  graph::map_labels_to_original(ws.staged_labels, ws.perm, ws.inv, out);
+  if (algo.canonical_labels) {
+    // Restore the min-label form the descriptor promises: the relabeled
+    // run's minima map back to the vertex with the smallest NEW id in each
+    // component, which need not be the smallest original id.
+    parallel::workspace::scope s(ws.scratch);
+    std::span<vertex_id> cmin =
+        ws.scratch.take_filled<vertex_id>(n, kNoVertex);
+    parallel::parallel_for(0, n, [&](size_t v) {
+      parallel::write_min(&cmin[out[v]], static_cast<vertex_id>(v));
+    });
+    parallel::parallel_for(0, n, [&](size_t v) {
+      out[v] = cmin[out[v]];  // lint: private-write(owner index v)
+    });
+  }
+  auto released = std::move(rg).release();
+  ws.reorder_offsets = std::move(released.first);
+  ws.reorder_edges = std::move(released.second);
+  if (stats != nullptr) stats->phases.add("reorder", map_timer.elapsed());
+}
+
 // --- auto: probe, select, delegate --------------------------------------
 void run_auto(const graph::graph& g, const cc_options& opt, algo_workspace& ws,
               std::span<vertex_id> out, cc_stats* stats) {
@@ -137,7 +190,21 @@ void run_auto(const graph::graph& g, const cc_options& opt, algo_workspace& ws,
       select_algorithm(ps, hw > 0 ? std::min(workers, hw) : workers);
   const algorithm* chosen = find_algorithm(pick);
   assert(chosen != nullptr && chosen->run != &run_auto);
-  run_algorithm(*chosen, g, opt, ws, out, stats);
+  // Locality relabeling around the pick: kAuto consults the probe (the
+  // selector only fires on large, heavily skewed inputs), anything else is
+  // the caller's pinned choice passed through.
+  graph::reorder_mode mode = graph::reorder_mode::kNone;
+  if (opt.reorder == reorder_policy::kAuto) {
+    mode = select_reorder(ps);
+  } else if (opt.reorder != reorder_policy::kNone) {
+    mode = reorder_mode_of(opt.reorder);
+  }
+  if (stats != nullptr) stats->algorithm = chosen->name;
+  if (mode != graph::reorder_mode::kNone && g.num_vertices() > 0) {
+    run_reordered(*chosen, g, opt, mode, ws, out, stats);
+  } else {
+    chosen->run(g, opt, ws, out, stats);
+  }
   if (stats != nullptr) {
     stats->selected = true;
     stats->probe = ps;
@@ -250,7 +317,20 @@ void run_algorithm(const algorithm& algo, const graph::graph& g,
                    const cc_options& opt, algo_workspace& ws,
                    std::span<vertex_id> labels_out, cc_stats* stats) {
   assert(labels_out.size() == g.num_vertices());
-  if (stats != nullptr) stats->algorithm = algo.name;
+  if (stats != nullptr) {
+    stats->algorithm = algo.name;
+    stats->reorder = "none";  // reused stats must not keep a stale mode
+  }
+  // A pinned reorder wraps any fixed algorithm here; "auto" decides inside
+  // run_auto with the probe in hand (and is excluded here so a query is
+  // wrapped exactly once).
+  const bool pinned = opt.reorder != reorder_policy::kAuto &&
+                      opt.reorder != reorder_policy::kNone;
+  if (pinned && algo.run != &run_auto && g.num_vertices() > 0) {
+    run_reordered(algo, g, opt, reorder_mode_of(opt.reorder), ws, labels_out,
+                  stats);
+    return;
+  }
   algo.run(g, opt, ws, labels_out, stats);
 }
 

@@ -21,6 +21,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "baselines/bfs.hpp"
 #include "core/cc_engine.hpp"
@@ -38,6 +39,17 @@ struct algo_workspace {
   cc_engine engine;
   baselines::bfs_scratch bfs;
   parallel::workspace scratch;
+
+  // Locality-relabeling state for the reorder wrapper (a pinned
+  // cc_options::reorder, or "auto" when select_reorder fires): the
+  // permutation, the relabeled CSR's backing vectors, and the staging
+  // labels in relabeled id space. Plain vectors so their capacity
+  // survives repeated queries.
+  std::vector<vertex_id> perm;
+  std::vector<vertex_id> inv;
+  std::vector<vertex_id> staged_labels;
+  std::vector<edge_id> reorder_offsets;
+  std::vector<vertex_id> reorder_edges;
 
   // Optional pre-sizing for a graph with n vertices / m directed edges;
   // everything self-sizes from the first run's high-water mark regardless.

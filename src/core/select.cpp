@@ -35,6 +35,18 @@ constexpr double kSkewedDegree = 4.0;
 constexpr double kDenseDegree = 8.0;
 constexpr double kVeryDenseDegree = 32.0;
 
+// Auto-reorder gate (select_reorder). Relabeling costs a permutation build
+// plus a full CSR rewrite before the query proper starts, so per-query it
+// only pays when (a) the label/parent arrays outrun the last-level cache —
+// n below kReorderMinVertices keeps the hot set resident no matter how the
+// ids are arranged — and (b) the degree distribution is skewed enough that
+// a degree relabel concentrates the hot set by a lot, not a little. The bar
+// well above kSkewedDegree: mild skew picks afforest fine but does not
+// repay a relabel pass. (The floor also keeps the small pinned-allocation
+// registry tests on the unwrapped path.)
+constexpr size_t kReorderMinVertices = size_t{1} << 18;
+constexpr double kReorderSkew = 16.0;
+
 // Visited set for the probe BFS: a small linear-probing table over vertex
 // ids instead of an n-byte array, so the probe never touches (or zeroes)
 // O(n) memory — its cost is O(budget) no matter how big the graph is.
@@ -247,6 +259,28 @@ const char* select_algorithm(const probe_stats& ps, int num_workers) {
   // Everything else — the "average" case the paper optimizes — goes to
   // the decompose-contract pipeline.
   return "decomp-arb-hybrid";
+}
+
+graph::reorder_mode select_reorder(const probe_stats& ps) {
+  if (ps.n < kReorderMinVertices || ps.m == 0) return graph::reorder_mode::kNone;
+  // High-diameter graphs go to the union-find family, whose access pattern
+  // follows the tree structure rather than the id layout — relabeling buys
+  // nothing there.
+  if (ps.diameter_proxy >= kHighDiameterProxy) return graph::reorder_mode::kNone;
+  // Without a giant component the selector routes to the decompose-contract
+  // pipeline, and relabeling actively hurts it (measured on shuffled-id
+  // skewed rMat, n=2^23, 1 thread: decomp-arb-hybrid 2.99s -> 3.86s under a
+  // degree sort — the BFS frontier order, not the id layout, governs its
+  // access pattern). With a giant the pick is afforest/hybrid-bfs, whose
+  // random probes into the parent array are exactly what a layout fixes.
+  if (!ps.large_component) return graph::reorder_mode::kNone;
+  if (ps.degree_skew < kReorderSkew) return graph::reorder_mode::kNone;
+  // The full degree sort, not hub clustering: on the same shuffled rMat the
+  // degree order halves afforest's run (2.08s -> 1.05s, amortizing the
+  // relabel after ~3 runs) while hub packing is a wash (~1.0x) — it moves
+  // the hubs but leaves the scattered tail scattered, and past the LLC the
+  // tail misses dominate.
+  return graph::reorder_mode::kDegree;
 }
 
 }  // namespace pcc::cc

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "graph/graph.hpp"
+#include "graph/reorder.hpp"
 #include "parallel/arena.hpp"
 
 namespace pcc::cc {
@@ -54,5 +55,14 @@ probe_stats probe_graph(const graph::graph& g, uint64_t seed,
 // (registry.cpp's run_auto does; the fig8 thread sweep shows extra
 // workers past the cores buy no speedup).
 const char* select_algorithm(const probe_stats& ps, int num_workers);
+
+// Locality-relabeling decision for cc_options::reorder == kAuto: returns
+// the graph::reorder_mode the registry's reorder wrapper should apply
+// around the selected algorithm, or kNone. Pure function of the probe.
+// Fires only on graphs big enough that the hot set outruns the caches AND
+// skewed enough that hub packing concentrates it (see DESIGN.md "The
+// locality layer" for the calibration); per-query it must pay for a full
+// permute + relabel pass, so the bar is deliberately high.
+graph::reorder_mode select_reorder(const probe_stats& ps);
 
 }  // namespace pcc::cc

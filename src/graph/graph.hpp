@@ -57,6 +57,18 @@ class graph {
   const std::vector<edge_id>& offsets() const { return offsets_; }
   const std::vector<vertex_id>& edges() const { return edges_; }
 
+  // Give the backing vectors (and their capacity) back to the caller,
+  // leaving an empty graph. Lets repeated-query paths that rebuild a CSR
+  // each round (the registry's reorder wrapper) recycle the storage
+  // instead of reallocating.
+  std::pair<std::vector<edge_id>, std::vector<vertex_id>> release() && {
+    std::pair<std::vector<edge_id>, std::vector<vertex_id>> out{
+        std::move(offsets_), std::move(edges_)};
+    offsets_.assign(1, 0);
+    edges_.clear();
+    return out;
+  }
+
   bool empty() const { return num_vertices() == 0; }
 
  private:

@@ -1,0 +1,218 @@
+#include "graph/reorder.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "parallel/integer_sort.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::graph {
+
+namespace {
+
+using parallel::parallel_for;
+
+// Scatter perm from inv: inv is a permutation, so every write lands on a
+// distinct slot.
+void perm_from_inv(std::span<const vertex_id> inv, std::span<vertex_id> perm) {
+  parallel_for(0, inv.size(), [&](size_t i) {
+    // lint: private-write(inv is a permutation, injective in i)
+    perm[inv[i]] = static_cast<vertex_id>(i);
+  });
+}
+
+void identity_perm(std::span<vertex_id> perm, std::span<vertex_id> inv) {
+  parallel_for(0, perm.size(), [&](size_t v) {
+    perm[v] = static_cast<vertex_id>(v);  // lint: private-write(owner index v)
+    inv[v] = static_cast<vertex_id>(v);   // lint: private-write(owner index v)
+  });
+}
+
+// Degree-descending order, ties in original id order: one stable radix
+// sort of (max_degree - degree) keys over the vertex ids. The id rides in
+// the low 32 bits of the packed key, so the sort only touches the degree
+// field and stability keeps ties in id order.
+void degree_order_into(const graph& g, std::span<vertex_id> perm,
+                       std::span<vertex_id> inv, parallel::workspace& ws) {
+  const size_t n = g.num_vertices();
+  parallel::workspace::scope s(ws);
+  const size_t max_degree = parallel::reduce_ws<size_t>(
+      n, [&](size_t v) { return g.degree(static_cast<vertex_id>(v)); },
+      size_t{0}, [](size_t a, size_t b) { return a < b ? b : a; }, ws);
+  std::span<uint64_t> keyed = ws.take<uint64_t>(n);
+  parallel_for(0, n, [&](size_t v) {
+    const uint64_t anti = max_degree - g.degree(static_cast<vertex_id>(v));
+    // lint: private-write(owner index v)
+    keyed[v] = (anti << 32) | v;
+  });
+  parallel::integer_sort_span(
+      keyed, parallel::bits_needed(max_degree + 1),
+      [](uint64_t p) { return p >> 32; }, ws);
+  parallel_for(0, n, [&](size_t i) {
+    // lint: private-write(owner index i)
+    inv[i] = static_cast<vertex_id>(keyed[i] & 0xFFFFFFFFull);
+  });
+  perm_from_inv(inv, perm);
+}
+
+// Hubs packed first (original relative order), tails after them (original
+// relative order): two stable index packs.
+void hub_cluster_into(const graph& g, std::span<vertex_id> perm,
+                      std::span<vertex_id> inv, parallel::workspace& ws) {
+  const size_t n = g.num_vertices();
+  const size_t threshold = hub_degree_threshold(g);
+  const auto is_hub = [&](size_t v) {
+    return g.degree(static_cast<vertex_id>(v)) >= threshold;
+  };
+  const size_t num_hubs = parallel::pack_index_span<vertex_id>(
+      n, is_hub, inv, ws);
+  parallel::pack_index_span<vertex_id>(
+      n, [&](size_t v) { return !is_hub(v); }, inv.subspan(num_hubs), ws);
+  perm_from_inv(inv, perm);
+}
+
+// BFS visit order. Roots are taken in increasing original id over the
+// unvisited vertices, and each frontier expands in visit order with
+// neighbours in adjacency order — fully deterministic. The walk itself is
+// sequential (a parallel frontier would need tie-breaking to stay
+// deterministic); the perm scatter and the relabel pass that follows are
+// parallel, and this mode is an opt-in for mesh-shaped inputs rather than
+// part of any hot path.
+void bfs_order_into(const graph& g, std::span<vertex_id> perm,
+                    std::span<vertex_id> inv, parallel::workspace& ws) {
+  const size_t n = g.num_vertices();
+  parallel::workspace::scope s(ws);
+  std::span<uint8_t> visited = ws.take_zeroed<uint8_t>(n);
+  size_t head = 0;  // inv[0, head) doubles as the BFS queue
+  size_t tail = 0;
+  for (size_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    inv[tail++] = static_cast<vertex_id>(root);
+    while (head < tail) {
+      const vertex_id u = inv[head++];
+      for (const vertex_id w : g.neighbors(u)) {
+        if (!visited[w]) {
+          visited[w] = 1;
+          inv[tail++] = w;
+        }
+      }
+    }
+  }
+  assert(tail == n);
+  perm_from_inv(inv, perm);
+}
+
+}  // namespace
+
+const char* reorder_name(reorder_mode m) {
+  switch (m) {
+    case reorder_mode::kNone:
+      return "none";
+    case reorder_mode::kDegree:
+      return "degree";
+    case reorder_mode::kHub:
+      return "hub";
+    case reorder_mode::kBfs:
+      return "bfs";
+  }
+  return "?";
+}
+
+bool reorder_from_name(std::string_view name, reorder_mode* out) {
+  for (const reorder_mode m :
+       {reorder_mode::kNone, reorder_mode::kDegree, reorder_mode::kHub,
+        reorder_mode::kBfs}) {
+    if (name == reorder_name(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t hub_degree_threshold(const graph& g) {
+  const size_t n = g.num_vertices();
+  if (n == 0) return kHubMinDegree;
+  // Ceiling of the average directed degree, so threshold >= 1 on any
+  // non-empty graph and the factor scales with density.
+  const size_t avg_ceil = (g.num_edges() + n - 1) / n;
+  const size_t scaled = kHubDegreeFactor * std::max<size_t>(avg_ceil, 1);
+  return std::max(kHubMinDegree, scaled);
+}
+
+void build_reorder_perm_into(const graph& g, reorder_mode mode,
+                             std::span<vertex_id> perm,
+                             std::span<vertex_id> inv,
+                             parallel::workspace& ws) {
+  assert(perm.size() == g.num_vertices() && inv.size() == g.num_vertices());
+  switch (mode) {
+    case reorder_mode::kNone:
+      identity_perm(perm, inv);
+      return;
+    case reorder_mode::kDegree:
+      degree_order_into(g, perm, inv, ws);
+      return;
+    case reorder_mode::kHub:
+      hub_cluster_into(g, perm, inv, ws);
+      return;
+    case reorder_mode::kBfs:
+      bfs_order_into(g, perm, inv, ws);
+      return;
+  }
+}
+
+void relabel_into(const graph& g, std::span<const vertex_id> perm,
+                  std::span<const vertex_id> inv,
+                  std::vector<edge_id>& offsets, std::vector<vertex_id>& edges,
+                  parallel::workspace& ws) {
+  const size_t n = g.num_vertices();
+  const size_t m = g.num_edges();
+  offsets.resize(n + 1);
+  edges.resize(m);
+  const edge_id total = parallel::scan_exclusive_span<edge_id>(
+      n,
+      [&](size_t v) {
+        return static_cast<edge_id>(g.degree(inv[v]));
+      },
+      std::span<edge_id>(offsets), ws);
+  offsets[n] = total;
+  assert(total == m);
+  (void)total;
+  parallel_for(0, n, [&](size_t v) {
+    const std::span<const vertex_id> nbrs = g.neighbors(inv[v]);
+    const edge_id base = offsets[v];
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      // lint: private-write(v owns the slice [offsets[v], offsets[v+1]))
+      edges[base + j] = perm[nbrs[j]];
+    }
+  });
+}
+
+reorder_result reorder_graph(const graph& g, reorder_mode mode) {
+  const size_t n = g.num_vertices();
+  reorder_result out;
+  out.perm.resize(n);
+  out.inv.resize(n);
+  parallel::workspace ws;
+  build_reorder_perm_into(g, mode, out.perm, out.inv, ws);
+  std::vector<edge_id> offsets;
+  std::vector<vertex_id> edges;
+  relabel_into(g, out.perm, out.inv, offsets, edges, ws);
+  out.g = graph(std::move(offsets), std::move(edges));
+  return out;
+}
+
+void map_labels_to_original(std::span<const vertex_id> labels_new,
+                            std::span<const vertex_id> perm,
+                            std::span<const vertex_id> inv,
+                            std::span<vertex_id> out) {
+  assert(labels_new.size() == perm.size() && out.size() == perm.size());
+  parallel_for(0, perm.size(), [&](size_t v) {
+    // lint: private-write(owner index v)
+    out[v] = inv[labels_new[perm[v]]];
+  });
+}
+
+}  // namespace pcc::graph

@@ -9,11 +9,14 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "parallel/defs.hpp"
+#include "parallel/integer_sort.hpp"
 #include "parallel/random.hpp"
 #include "parallel/scheduler.hpp"
 #include "parallel/sequence.hpp"
@@ -23,6 +26,11 @@ namespace pcc::parallel {
 namespace detail {
 inline constexpr size_t kSampleSortCutoff = 1 << 14;
 inline constexpr size_t kSampleSortBlock = 1 << 12;
+// Cap on bucket count: beyond this the per-block histogram matrix
+// (num_blocks x num_buckets) outgrows the cache and its transpose-scan
+// turns quadratic-ish, which is where the old n/block rule lost badly to
+// the radix sort on large inputs.
+inline constexpr size_t kSampleSortMaxBuckets = 512;
 }  // namespace detail
 
 template <typename T, typename Less = std::less<T>>
@@ -33,9 +41,34 @@ void sample_sort(std::vector<T>& v, Less less = Less{}, uint64_t seed = 0x5a) {
     return;
   }
 
-  // Pivot selection: oversample, sort, take evenly spaced pivots.
-  const size_t num_buckets = std::max<size_t>(2, n / detail::kSampleSortBlock);
-  const size_t oversample = 8;
+  // Radix fast path: sorting unsigned integers by value is exactly what
+  // the LSD radix sort does in O(n) sweeps per digit — no pivots, no
+  // binary searches, no per-bucket comparison sort. One reduce finds the
+  // key width so narrow-keyed inputs pay only the passes they need. This
+  // is the fix for the measured sample/integer sort gap on packed keys
+  // (BM_SampleSort vs BM_IntegerSort in bench_micro).
+  if constexpr (std::is_unsigned_v<T> && std::is_same_v<Less, std::less<T>>) {
+    const T max_key = reduce(
+        n, [&](size_t i) { return v[i]; }, T{0},
+        [](T a, T b) { return a < b ? b : a; });
+    // bit_width, not bits_needed(max + 1): full-range keys (max >= 2^63)
+    // must yield 64, where the +1 would overflow.
+    const int bits = std::bit_width(static_cast<uint64_t>(max_key));
+    workspace ws;
+    integer_sort_span(std::span<T>(v), bits,
+                      [](T x) { return static_cast<uint64_t>(x); }, ws);
+    return;
+  }
+
+  // Pivot selection: oversample, sort, take evenly spaced pivots. The
+  // bucket count targets block-sized buckets but is capped (see
+  // kSampleSortMaxBuckets); the oversampling factor is high enough that
+  // bucket sizes concentrate near n/num_buckets instead of the 3-4x
+  // overloads an 8x oversample produced.
+  const size_t num_buckets =
+      std::clamp<size_t>(n / detail::kSampleSortBlock, 2,
+                         detail::kSampleSortMaxBuckets);
+  const size_t oversample = 32;
   rng gen(seed);
   std::vector<T> sample(num_buckets * oversample);
   parallel_for(0, sample.size(),

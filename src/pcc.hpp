@@ -26,6 +26,7 @@
 #include "graph/graph.hpp"
 #include "graph/edge_map.hpp"
 #include "graph/io.hpp"
+#include "graph/reorder.hpp"
 #include "graph/stats.hpp"
 #include "graph/subgraph.hpp"
 #include "graph/vertex_subset.hpp"

@@ -30,14 +30,15 @@ struct contracted_case {
 };
 
 contracted_case make_case(graph::graph g, double beta, bool dedup,
-                          uint64_t seed = 3) {
+                          uint64_t seed = 3,
+                          cc::dedup_strategy strategy = cc::dedup_strategy::kAuto) {
   contracted_case c{std::make_unique<graph::graph>(std::move(g)), {}, {}, {}};
   c.wg = work_graph::from(*c.g_holder);
   ldd::options opt;
   opt.beta = beta;
   opt.seed = seed;
   c.dec = ldd::decomp_arb(c.wg, opt, nullptr);
-  c.con = contract(c.wg, c.dec, dedup);
+  c.con = contract(c.wg, c.dec, dedup, strategy);
   return c;
 }
 
@@ -144,6 +145,93 @@ TEST(Contract, PreservesComponentCount) {
   const size_t contracted_components =
       graph::count_components(c.con.contracted);
   EXPECT_EQ(original, contracted_components + c.con.num_singleton_clusters);
+}
+
+TEST(Contract, SortAndHashDedupProduceIdenticalCsr) {
+  // Both dedup routes compact to the same deduplicated, sorted pair set, so
+  // the contracted CSR must be byte-identical — not just isomorphic. Run
+  // the adversarial corpus: dense contractions (many duplicates), hub
+  // graphs, multigraph-like rMat, and tiny edge cases.
+  const struct {
+    const char* name;
+    graph::graph g;
+  } cases[] = {
+      {"rmat_dense", graph::rmat_graph(4096, 60000, 5)},
+      {"random_dense", graph::random_graph(2000, 12, 21)},
+      {"star", graph::star_graph(3000)},
+      {"grid", graph::grid3d_graph(3000, true, 7)},
+      {"small_complete", graph::complete_graph(24)},
+  };
+  for (const auto& tc : cases) {
+    for (const double beta : {0.1, 0.4}) {
+      const auto hash = make_case(tc.g, beta, true, 3,
+                                  cc::dedup_strategy::kHash);
+      const auto sort = make_case(tc.g, beta, true, 3,
+                                  cc::dedup_strategy::kSort);
+      ASSERT_EQ(hash.con.contracted.offsets(), sort.con.contracted.offsets())
+          << tc.name << " beta=" << beta;
+      ASSERT_EQ(hash.con.contracted.edges(), sort.con.contracted.edges())
+          << tc.name << " beta=" << beta;
+      EXPECT_EQ(hash.con.new_id, sort.con.new_id) << tc.name;
+      EXPECT_EQ(hash.con.rep, sort.con.rep) << tc.name;
+      // kAuto must resolve to one of the two fixed routes, hence also match.
+      const auto aut = make_case(tc.g, beta, true, 3,
+                                 cc::dedup_strategy::kAuto);
+      EXPECT_EQ(aut.con.contracted.offsets(), sort.con.contracted.offsets())
+          << tc.name << " beta=" << beta;
+      EXPECT_EQ(aut.con.contracted.edges(), sort.con.contracted.edges())
+          << tc.name << " beta=" << beta;
+    }
+  }
+}
+
+TEST(Contract, ChooseDedupRouteCostModel) {
+  using cc::choose_dedup_route;
+  using cc::dedup_strategy;
+  // Empty level: route is irrelevant, sort is the cheap no-op.
+  EXPECT_EQ(choose_dedup_route(0, 0), dedup_strategy::kSort);
+  // Narrow keys (k small => few radix passes): sort wins regardless of m.
+  EXPECT_EQ(choose_dedup_route(1 << 20, 1 << 10), dedup_strategy::kSort);
+  EXPECT_EQ(choose_dedup_route(100, 50), dedup_strategy::kSort);
+  // k up to 2^16 is still a 4-pass sort over the packed 2b-bit key.
+  EXPECT_EQ(choose_dedup_route(size_t{1} << 24, size_t{1} << 16),
+            dedup_strategy::kSort);
+  // Wide key AND heavy duplication: the hash route's post-dedup sort is
+  // much smaller, so hashing pays off.
+  EXPECT_EQ(choose_dedup_route(size_t{1} << 28, size_t{1} << 20),
+            dedup_strategy::kHash);
+  // Wide key but light duplication (m/k < 8): dedup barely shrinks the
+  // array, stay on the streaming sort.
+  EXPECT_EQ(choose_dedup_route((size_t{1} << 20) * 4, size_t{1} << 20),
+            dedup_strategy::kSort);
+  // Saturated pair space (m >= 16 * k^2/2): duplication is heavy enough
+  // that the hash table's hot set stays cached — the measured crossover
+  // on the micro pair. k=128 at m=2^18 is the dup=16 micro point.
+  EXPECT_EQ(choose_dedup_route(size_t{1} << 18, 128), dedup_strategy::kHash);
+  EXPECT_EQ(choose_dedup_route(size_t{1} << 18, 256), dedup_strategy::kSort);
+}
+
+TEST(Contract, DedupRouteReportedInView) {
+  // contract_into records the route it actually took; pinned strategies
+  // must be honored verbatim and "off" reported when dedup is disabled.
+  const graph::graph g = graph::random_graph(3000, 8, 17);
+  work_graph wg = work_graph::from(g);
+  ldd::options opt;
+  opt.beta = 0.2;
+  const auto dec = ldd::decomp_arb(wg, opt, nullptr);
+  parallel::workspace persist_ws, graph_ws, scratch_ws;
+  const auto run = [&](bool dedup, cc::dedup_strategy s) {
+    persist_ws.reset();
+    graph_ws.reset();
+    const auto cv = cc::contract_into(wg, dec.cluster, dedup, persist_ws,
+                                      graph_ws, scratch_ws, s);
+    return std::string(cv.dedup_route);
+  };
+  EXPECT_EQ(run(true, cc::dedup_strategy::kHash), "hash");
+  EXPECT_EQ(run(true, cc::dedup_strategy::kSort), "sort");
+  EXPECT_EQ(run(false, cc::dedup_strategy::kAuto), "off");
+  const std::string autod = run(true, cc::dedup_strategy::kAuto);
+  EXPECT_TRUE(autod == "hash" || autod == "sort") << autod;
 }
 
 TEST(Contract, WorksAfterEachDecompositionVariant) {
