@@ -247,6 +247,23 @@ void BM_SpanningForest(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanningForest)->Arg(1 << 14)->Arg(1 << 17);
 
+// Labels + forest through a warm sf_engine, on the SAME graph as
+// BM_CcEngineWarmRun: the pair is the cost of carrying witnesses through
+// the pipeline (acceptance target: within 1.2x of labels-only).
+void BM_SfEngineWarmRun(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const graph::graph g = graph::random_graph(n, 5, 5);
+  cc::sf_engine engine;
+  engine.run(g);
+  engine.run(g);  // second run consolidates the arenas
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(g).labels.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * g.num_edges()));
+}
+BENCHMARK(BM_SfEngineWarmRun)->Arg(1 << 14)->Arg(1 << 17);
+
 // Console output as usual, plus a per-benchmark collection of the
 // individual repetition times so the JSON summary can report median + min
 // regardless of google-benchmark's own aggregate naming.

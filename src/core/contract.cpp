@@ -15,6 +15,7 @@
 #include "graph/builder.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/emit.hpp"
+#include "parallel/hash_map.hpp"
 #include "parallel/hash_table.hpp"
 #include "parallel/integer_sort.hpp"
 #include "parallel/scheduler.hpp"
@@ -94,21 +95,23 @@ dedup_strategy choose_dedup_route(size_t m, size_t k) {
   return dup_ratio >= 8 ? dedup_strategy::kHash : dedup_strategy::kSort;
 }
 
-contraction_view contract_into(const ldd::work_graph& wg,
-                               std::span<const vertex_id> cluster, bool dedup,
-                               parallel::workspace& persist_ws,
-                               parallel::workspace& graph_ws,
-                               parallel::workspace& scratch_ws,
-                               dedup_strategy strategy) {
+namespace {
+
+// Stages shared by both contract_into overloads: per-vertex gather offsets
+// into the packed pair array, surviving-cluster detection, contracted id
+// assignment (new_id / rep). gather_off is carved from scratch_ws — the
+// caller's rewind scope must already be open.
+std::span<edge_id> contract_prelude(const ldd::work_graph& wg,
+                                    std::span<const vertex_id> cluster,
+                                    contraction_view& out,
+                                    parallel::workspace& persist_ws,
+                                    parallel::workspace& scratch_ws) {
   const size_t n = wg.n;
   std::span<const edge_id> V = wg.offsets;
   std::span<const vertex_id> E = wg.edges;
   std::span<const vertex_id> D = wg.degrees;
 
-  contraction_view out;
   out.new_id = persist_ws.take<vertex_id>(n);
-
-  parallel::workspace::scope s(scratch_ws);
 
   // Offsets of each vertex's kept edges in the gathered edge array.
   std::span<edge_id> gather_off = scratch_ws.take<edge_id>(n);
@@ -152,6 +155,28 @@ contraction_view contract_into(const ldd::work_graph& wg,
       out.new_id[c] = kNoVertex;
     }
   });
+  return gather_off;
+}
+
+}  // namespace
+
+contraction_view contract_into(const ldd::work_graph& wg,
+                               std::span<const vertex_id> cluster, bool dedup,
+                               parallel::workspace& persist_ws,
+                               parallel::workspace& graph_ws,
+                               parallel::workspace& scratch_ws,
+                               dedup_strategy strategy) {
+  const size_t n = wg.n;
+  std::span<const edge_id> V = wg.offsets;
+  std::span<const vertex_id> E = wg.edges;
+  std::span<const vertex_id> D = wg.degrees;
+
+  contraction_view out;
+  parallel::workspace::scope s(scratch_ws);
+  std::span<edge_id> gather_off =
+      contract_prelude(wg, cluster, out, persist_ws, scratch_ws);
+  const edge_id total_kept = out.edges_before_dedup;
+  const size_t k = out.num_vertices;
 
   // Gather the kept edges as packed (new source id, new target id) pairs.
   // Targets were relabeled to cluster ids during the decomposition; sources
@@ -226,6 +251,165 @@ contraction_view contract_into(const ldd::work_graph& wg,
       graph::from_sorted_pairs_into(k, pairs, graph_ws, scratch_ws);
   out.offsets = csr.offsets;
   out.edges = csr.edges;
+  return out;
+}
+
+contraction_view contract_into(const ldd::work_graph& wg,
+                               std::span<const uint64_t> witness,
+                               std::span<const vertex_id> cluster, bool dedup,
+                               parallel::workspace& persist_ws,
+                               parallel::workspace& graph_ws,
+                               parallel::workspace& scratch_ws,
+                               dedup_strategy strategy) {
+  const size_t n = wg.n;
+  std::span<const edge_id> V = wg.offsets;
+  std::span<const vertex_id> E = wg.edges;
+  std::span<const vertex_id> D = wg.degrees;
+
+  contraction_view out;
+  parallel::workspace::scope s(scratch_ws);
+  std::span<edge_id> gather_off =
+      contract_prelude(wg, cluster, out, persist_ws, scratch_ws);
+  const edge_id total_kept = out.edges_before_dedup;
+  const size_t k = out.num_vertices;
+
+  // The flattened gather position (base + i) is an edge's deterministic
+  // *gather rank*: it depends only on the CSR layout and the decomposition
+  // labeling, never on scheduling, so "minimum gather rank" is a
+  // scheduler-independent tie-break for witness selection under dedup.
+  //
+  // The folded semisort key, shared by every route below.
+  const int b = parallel::bits_needed(k == 0 ? 1 : k);
+  const uint64_t tmask = b >= 32 ? ~uint32_t{0} : (uint64_t{1} << b) - 1;
+
+  // A gather rank names its original CSR slot through gather_off (an
+  // exclusive scan): the owner is the last v with gather_off[v] <= rank,
+  // and the slot is rank's offset into v's kept prefix. Only the distinct
+  // survivors ever invert, so the binary search cost is negligible.
+  const auto slot_of_rank = [&](uint64_t rank) -> edge_id {
+    const auto it =
+        std::upper_bound(gather_off.begin(), gather_off.end(), rank);
+    const size_t v = static_cast<size_t>(it - gather_off.begin()) - 1;
+    return V[v] + static_cast<edge_id>(rank - gather_off[v]);
+  };
+
+  const dedup_strategy route =
+      !dedup ? dedup_strategy::kSort
+             : (strategy == dedup_strategy::kAuto
+                    ? choose_dedup_route(total_kept, k)
+                    : strategy);
+
+  if (dedup && route == dedup_strategy::kHash && total_kept > 0) {
+    // Hash route: gather PLAIN packed pairs — byte-for-byte the same
+    // traffic as the labels-only overload — and fold each pair's gather
+    // rank into the map with an atomic write_min (deterministic regardless
+    // of arrival order). Witnesses are pulled only for the distinct
+    // survivors, after the sort, through slot_of_rank.
+    out.dedup_route = dedup_strategy_name(route);
+    std::span<uint64_t> pairs = scratch_ws.take<uint64_t>(total_kept);
+    parallel_for(0, n, [&](size_t v) {
+      const vertex_id src = out.new_id[cluster[v]];
+      const edge_id start = V[v];
+      const edge_id base = gather_off[v];
+      for (vertex_id i = 0; i < D[v]; ++i) {
+        const vertex_id tgt = out.new_id[E[start + i]];
+        assert(src != kNoVertex && tgt != kNoVertex && src != tgt);
+        // lint: private-write(v owns the slice [gather_off[v], gather_off[v+1]))
+        pairs[base + i] = (static_cast<uint64_t>(src) << 32) | tgt;
+      }
+    });
+    std::span<uint64_t> map_keys = scratch_ws.take<uint64_t>(
+        parallel::hash_map64_view::slots_needed(pairs.size()));
+    std::span<uint64_t> map_vals = scratch_ws.take<uint64_t>(map_keys.size());
+    parallel::hash_map64_view map(map_keys, map_vals);
+    std::span<uint64_t> deduped = scratch_ws.take<uint64_t>(pairs.size());
+    const size_t num_deduped = parallel::emit_pack<uint64_t>(
+        pairs.size(), deduped, scratch_ws,
+        [&](size_t i, parallel::emitter<uint64_t>& em) {
+          if (map.insert_min(pairs[i], i)) em(pairs[i]);
+        });
+    std::span<uint64_t> kept = deduped.first(num_deduped);
+    const auto key = [b, tmask](uint64_t p) {
+      return ((p >> 32) << b) | (p & tmask);
+    };
+    parallel::integer_sort_span(kept, 2 * b, key, scratch_ws);
+    std::span<uint64_t> owit = graph_ws.take<uint64_t>(kept.size());
+    parallel_for(0, kept.size(), [&](size_t j) {
+      uint64_t rank = ~uint64_t{0};
+      const bool found = map.find(kept[j], &rank);
+      assert(found);
+      (void)found;
+      // lint: private-write(owner index j)
+      owit[j] = witness[slot_of_rank(rank)];
+    });
+    const graph::csr_spans csr =
+        graph::from_sorted_pairs_into(k, kept, graph_ws, scratch_ws);
+    out.offsets = csr.offsets;
+    out.edges = csr.edges;
+    out.edge_witness = owit;
+    return out;
+  }
+
+  // Sort route (and the no-dedup path): the witness must ride along the
+  // radix passes, so the gather carries {pair, witness} records.
+  std::span<witness_pair> wpairs = scratch_ws.take<witness_pair>(total_kept);
+  parallel_for(0, n, [&](size_t v) {
+    const vertex_id src = out.new_id[cluster[v]];
+    const edge_id start = V[v];
+    const edge_id base = gather_off[v];
+    for (vertex_id i = 0; i < D[v]; ++i) {
+      const vertex_id tgt = out.new_id[E[start + i]];
+      assert(src != kNoVertex && tgt != kNoVertex && src != tgt);
+      // lint: private-write(v owns the slice [gather_off[v], gather_off[v+1]))
+      wpairs[base + i] = {(static_cast<uint64_t>(src) << 32) | tgt,
+                         witness[start + i]};
+    }
+  });
+
+  // The sort is keyed on the packed pair only, so equal pairs (dedup
+  // candidates) are adjacent.
+  const auto key = [b, tmask](const witness_pair& wp) {
+    return ((wp.pair >> 32) << b) | (wp.pair & tmask);
+  };
+
+  bool sorted = false;
+  if (dedup && !wpairs.empty()) {
+    out.dedup_route = dedup_strategy_name(route);
+    // The radix sort is stable (LSD), so within a run of equal pairs the
+    // gather order survives; keeping the first of each run selects the
+    // minimum-gather-rank witness.
+    parallel::integer_sort_span(wpairs, 2 * b, key, scratch_ws);
+    std::span<witness_pair> deduped =
+        scratch_ws.take<witness_pair>(wpairs.size());
+    const size_t num_deduped = parallel::emit_pack<witness_pair>(
+        wpairs.size(), deduped, scratch_ws,
+        [&](size_t i, parallel::emitter<witness_pair>& em) {
+          if (i == 0 || wpairs[i].pair != wpairs[i - 1].pair) em(wpairs[i]);
+        });
+    wpairs = deduped.first(num_deduped);
+    sorted = true;
+  }
+
+  if (!sorted) {
+    parallel::integer_sort_span(wpairs, 2 * b, key, scratch_ws);
+  }
+
+  // Split the sorted array: packed pairs feed the CSR build (temporary),
+  // witnesses go to graph_ws so they live exactly as long as the contracted
+  // CSR they parallel. from_sorted_pairs_into preserves slot order
+  // (edges[i] comes from sorted[i]), so owit stays parallel to out.edges.
+  std::span<uint64_t> sorted_pairs = scratch_ws.take<uint64_t>(wpairs.size());
+  std::span<uint64_t> owit = graph_ws.take<uint64_t>(wpairs.size());
+  parallel_for(0, wpairs.size(), [&](size_t i) {
+    sorted_pairs[i] = wpairs[i].pair;  // lint: private-write(owner index i)
+    owit[i] = wpairs[i].witness;       // lint: private-write(owner index i)
+  });
+
+  const graph::csr_spans csr =
+      graph::from_sorted_pairs_into(k, sorted_pairs, graph_ws, scratch_ws);
+  out.offsets = csr.offsets;
+  out.edges = csr.edges;
+  out.edge_witness = owit;
   return out;
 }
 

@@ -64,6 +64,18 @@ struct contraction_view {
   // Route actually used for duplicate removal: "hash", "sort", or "off"
   // when dedup was disabled (static string, never owned).
   const char* dedup_route = "off";
+  // Parallel to `edges`: the original-graph edge realizing each contracted
+  // edge, packed (u << 32) | v. Only filled by the witness-carrying
+  // contract_into overload; empty otherwise.
+  std::span<uint64_t> edge_witness;
+};
+
+// A gathered inter-cluster edge with its witness, the unit the
+// witness-preserving dedup routes operate on. `pair` packs the contracted
+// (src << 32) | tgt endpoints; `witness` packs an original-graph edge.
+struct witness_pair {
+  uint64_t pair;
+  uint64_t witness;
 };
 
 // Workspace-backed core: contract `wg` according to `cluster` (the
@@ -75,6 +87,25 @@ struct contraction_view {
 // each v, the first wg.degrees[v] adjacency entries are its inter-cluster
 // edges with targets relabeled to cluster ids.
 contraction_view contract_into(const ldd::work_graph& wg,
+                               std::span<const vertex_id> cluster, bool dedup,
+                               parallel::workspace& persist_ws,
+                               parallel::workspace& graph_ws,
+                               parallel::workspace& scratch_ws,
+                               dedup_strategy strategy = dedup_strategy::kAuto);
+
+// Witness-carrying overload (the spanning-forest engine's contraction):
+// `witness` parallels wg.edges — witness[e] is the original-graph edge that
+// realizes edge slot e — and the result's edge_witness parallels the
+// contracted CSR. When dedup removes copies of a contracted (src, tgt)
+// pair, the surviving witness is the one at the MINIMUM deterministic
+// gather rank (the flattened CSR position of the realizing edge), on both
+// dedup routes: the sort route's stable radix sort keeps gather order
+// within equal pairs, and the hash route folds gather ranks with an atomic
+// write_min and joins the winner back after the barrier. The route choice
+// itself is a pure function of (m, k), so the contracted CSR AND its
+// witness array are identical across worker counts and backends.
+contraction_view contract_into(const ldd::work_graph& wg,
+                               std::span<const uint64_t> witness,
                                std::span<const vertex_id> cluster, bool dedup,
                                parallel::workspace& persist_ws,
                                parallel::workspace& graph_ws,

@@ -1,0 +1,322 @@
+// forest_index construction and queries (see forest_index.hpp).
+
+#include "core/forest_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parallel/arena.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/emit.hpp"
+#include "parallel/hash_map.hpp"
+#include "parallel/integer_sort.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sequence.hpp"
+
+namespace pcc::cc {
+
+namespace {
+
+using parallel::parallel_for;
+
+constexpr uint32_t kNoForestEdge = ~uint32_t{0};
+
+// One directed copy of a forest edge, for building the adjacency CSR.
+struct dir_edge {
+  vertex_id src;
+  vertex_id tgt;
+  uint32_t eidx;
+};
+
+inline uint64_t undirected_key(vertex_id u, vertex_id v) {
+  return u < v ? ((static_cast<uint64_t>(u) << 32) | v)
+               : ((static_cast<uint64_t>(v) << 32) | u);
+}
+
+}  // namespace
+
+forest_index::forest_index(size_t n, std::span<const graph::edge> forest,
+                           std::span<const vertex_id> labels)
+    : comp_(labels), forest_(forest.begin(), forest.end()) {
+  assert(labels.size() == n);
+  const size_t f = forest_.size();
+  parallel::workspace ws;
+
+  // Forest adjacency: both directions of every forest edge, sorted by
+  // source (stable radix keeps the forest order within a vertex, so the
+  // adjacency — and everything BFS-derived below — is deterministic).
+  std::vector<dir_edge> dirs(2 * f);
+  parallel_for(0, f, [&](size_t j) {
+    const auto [u, v] = forest_[j];
+    assert(u != v && u < n && v < n);
+    // lint: private-write(iteration j owns slots 2j and 2j+1)
+    dirs[2 * j] = {u, v, static_cast<uint32_t>(j)};
+    dirs[2 * j + 1] = {v, u, static_cast<uint32_t>(j)};
+  });
+  parallel::integer_sort(dirs, parallel::bits_needed(n == 0 ? 1 : n),
+                         [](const dir_edge& d) { return d.src; });
+  adj_offsets_.resize(n + 1);
+  adj_targets_.resize(dirs.size());
+  adj_eidx_.resize(dirs.size());
+  parallel_for(0, dirs.size(), [&](size_t i) {
+    // lint: private-write(iteration i owns slot i of both arrays)
+    adj_targets_[i] = dirs[i].tgt;
+    adj_eidx_[i] = dirs[i].eidx;
+  });
+  parallel_for(0, n + 1, [&](size_t v) {
+    const auto it = std::lower_bound(
+        dirs.begin(), dirs.end(), v,
+        [](const dir_edge& d, size_t vv) { return d.src < vv; });
+    // lint: private-write(iteration v owns slot v)
+    adj_offsets_[v] = static_cast<edge_id>(it - dirs.begin());
+  });
+
+  // Root every tree at its component's minimum vertex (members() are in
+  // ascending vertex order) and BFS all trees at once. In a forest an
+  // unvisited vertex is adjacent to at most one visited vertex per round,
+  // so the child writes are plain stores with a unique writer.
+  const size_t nc = comp_.num_components();
+  parent_.assign(n, kNoVertex);
+  parent_eidx_.assign(n, kNoForestEdge);
+  depth_.assign(n, 0);
+  edge_child_.assign(f, kNoVertex);
+  root_of_comp_.resize(nc);
+  by_depth_.resize(n);
+  level_starts_.clear();
+  level_starts_.push_back(0);
+
+  std::span<vertex_id> frontier = ws.take<vertex_id>(n);
+  std::span<vertex_id> next = ws.take<vertex_id>(n);
+  size_t frontier_size = nc;
+  parallel_for(0, nc, [&](size_t c) {
+    const vertex_id r = comp_.members(static_cast<vertex_id>(c))[0];
+    root_of_comp_[c] = r;  // lint: private-write(iteration c owns slot c)
+    frontier[c] = r;       // lint: private-write(iteration c owns slot c)
+  });
+
+  size_t filled = 0;
+  uint32_t level = 0;
+  while (frontier_size > 0) {
+    parallel_for(0, frontier_size, [&](size_t i) {
+      // lint: private-write(iteration i owns slot filled + i)
+      by_depth_[filled + i] = frontier[i];
+    });
+    filled += frontier_size;
+    level_starts_.push_back(filled);
+    size_t next_size;
+    {
+      parallel::workspace::scope round_scope(ws);
+      const parallel::frontier_result run =
+          parallel::frontier_edge_for<vertex_id>(
+              frontier_size,
+              [&](size_t fi) {
+                const vertex_id v = frontier[fi];
+                return adj_offsets_[v + 1] - adj_offsets_[v];
+              },
+              next, ws,
+              [&](size_t fi, uint32_t jlo, uint32_t jhi, uint32_t,
+                  parallel::emitter<vertex_id>& em) -> uint32_t {
+                const vertex_id v = frontier[fi];
+                const edge_id start = adj_offsets_[v];
+                for (uint32_t i = jlo; i < jhi; ++i) {
+                  const vertex_id w = adj_targets_[start + i];
+                  if (w == parent_[v]) continue;
+                  const uint32_t j = adj_eidx_[start + i];
+                  // lint: private-write(w has one visited neighbor: v)
+                  parent_[w] = v;
+                  // lint: private-write(same unique-claimer invariant)
+                  parent_eidx_[w] = j;
+                  // lint: private-write(same unique-claimer invariant)
+                  depth_[w] = level + 1;
+                  // lint: private-write(edge j's deeper endpoint is only w)
+                  edge_child_[j] = w;
+                  em(w);
+                }
+                return 0;
+              });
+      next_size = run.emitted;
+    }
+    parallel_for(0, next_size, [&](size_t i) {
+      // lint: private-write(iteration i owns slot i)
+      frontier[i] = next[i];
+    });
+    frontier_size = next_size;
+    ++level;
+  }
+  assert(filled == n);
+
+  // Exact tree diameters by the two-sweep argument: the vertex farthest
+  // from any vertex (here: the root) is an endpoint of a longest path, and
+  // a second BFS from it reaches the other endpoint at distance =
+  // diameter. Farthest-vertex selection packs (depth, ~v) so ties break
+  // toward the smallest vertex id, keeping the sweep deterministic.
+  diameter_.assign(nc, 0);
+  if (f > 0) {
+    std::span<uint64_t> far = ws.take_filled<uint64_t>(nc, uint64_t{0});
+    parallel_for(0, n, [&](size_t v) {
+      const vertex_id c = comp_.component_of(static_cast<vertex_id>(v));
+      parallel::write_max(&far[c], (static_cast<uint64_t>(depth_[v]) << 32) |
+                                       (~static_cast<uint32_t>(v)));
+    });
+
+    std::span<vertex_id> prev = ws.take_filled<vertex_id>(n, kNoVertex);
+    std::span<uint32_t> depth2 = ws.take_zeroed<uint32_t>(n);
+    frontier_size = nc;
+    parallel_for(0, nc, [&](size_t c) {
+      // lint: private-write(iteration c owns slot c)
+      frontier[c] = ~static_cast<uint32_t>(far[c]);
+    });
+    uint32_t level2 = 0;
+    while (frontier_size > 0) {
+      size_t next_size;
+      {
+        parallel::workspace::scope round_scope(ws);
+        const parallel::frontier_result run =
+            parallel::frontier_edge_for<vertex_id>(
+                frontier_size,
+                [&](size_t fi) {
+                  const vertex_id v = frontier[fi];
+                  return adj_offsets_[v + 1] - adj_offsets_[v];
+                },
+                next, ws,
+                [&](size_t fi, uint32_t jlo, uint32_t jhi, uint32_t,
+                    parallel::emitter<vertex_id>& em) -> uint32_t {
+                  const vertex_id v = frontier[fi];
+                  const edge_id start = adj_offsets_[v];
+                  for (uint32_t i = jlo; i < jhi; ++i) {
+                    const vertex_id w = adj_targets_[start + i];
+                    if (w == prev[v]) continue;
+                    // lint: private-write(w has one visited neighbor: v)
+                    prev[w] = v;
+                    // lint: private-write(same unique-claimer invariant)
+                    depth2[w] = level2 + 1;
+                    em(w);
+                  }
+                  return 0;
+                });
+        next_size = run.emitted;
+      }
+      parallel_for(0, next_size, [&](size_t i) {
+        // lint: private-write(iteration i owns slot i)
+        frontier[i] = next[i];
+      });
+      frontier_size = next_size;
+      ++level2;
+    }
+    parallel_for(0, n, [&](size_t v) {
+      const vertex_id c = comp_.component_of(static_cast<vertex_id>(v));
+      parallel::write_max(&diameter_[c], static_cast<size_t>(depth2[v]));
+    });
+  }
+}
+
+vertex_id forest_index::lca(vertex_id u, vertex_id v) const {
+  assert(connected(u, v));
+  while (depth_[u] > depth_[v]) u = parent_[u];
+  while (depth_[v] > depth_[u]) v = parent_[v];
+  while (u != v) {
+    u = parent_[u];
+    v = parent_[v];
+  }
+  return u;
+}
+
+size_t forest_index::distance(vertex_id u, vertex_id v) const {
+  const vertex_id a = lca(u, v);
+  return (depth_[u] - depth_[a]) + (depth_[v] - depth_[a]);
+}
+
+std::vector<graph::edge> forest_index::path(vertex_id u, vertex_id v) const {
+  std::vector<graph::edge> out;
+  if (u == v || !connected(u, v)) return out;
+  const vertex_id a = lca(u, v);
+  out.reserve((depth_[u] - depth_[a]) + (depth_[v] - depth_[a]));
+  // u's side, walking up: edges already come out in path order.
+  for (vertex_id x = u; x != a; x = parent_[x]) {
+    out.push_back(forest_[parent_eidx_[x]]);
+  }
+  // v's side, walking up collects lca->v edges in reverse; flip them.
+  const size_t mid = out.size();
+  for (vertex_id x = v; x != a; x = parent_[x]) {
+    out.push_back(forest_[parent_eidx_[x]]);
+  }
+  std::reverse(out.begin() + mid, out.end());
+  return out;
+}
+
+std::vector<graph::edge> forest_index::bridges(const graph::graph& g) const {
+  const size_t n = num_vertices();
+  const size_t f = forest_.size();
+  assert(g.num_vertices() == n);
+  std::vector<graph::edge> out;
+  if (f == 0) return out;
+
+  // Tree-edge lookup: packed (min, max) -> forest-edge index. Keys are
+  // distinct (a forest has no duplicate edges), so the stored value is
+  // deterministic despite first-writer-wins insert.
+  parallel::hash_map64 tree(f);
+  parallel_for(0, f, [&](size_t j) {
+    tree.insert(undirected_key(forest_[j].first, forest_[j].second),
+                static_cast<uint64_t>(j));
+  });
+
+  // Cover-count every non-tree edge (u, w): +1 at both endpoints, -2 at
+  // their LCA; a forest edge is a bridge iff the subtree below its child
+  // endpoint sums to zero. Each forest edge has ONE skip budget — the tree
+  // copy of itself — claimed with a fetch_add, so parallel duplicates
+  // beyond the first count as covering edges (they do de-bridge the edge).
+  std::vector<int64_t> cover(n, 0);
+  std::vector<uint32_t> used(f, 0);
+  const std::vector<edge_id>& go = g.offsets();
+  const std::vector<vertex_id>& ge = g.edges();
+  parallel_for(0, n, [&](size_t uu) {
+    const vertex_id u = static_cast<vertex_id>(uu);
+    for (edge_id e = go[uu]; e < go[uu + 1]; ++e) {
+      const vertex_id w = ge[e];
+      if (u >= w) continue;  // one directed copy per undirected edge
+      uint64_t j = 0;
+      if (tree.find(undirected_key(u, w), &j) &&
+          parallel::fetch_add(&used[j], uint32_t{1}) == 0) {
+        continue;  // the tree edge itself covers nothing
+      }
+      const vertex_id a = lca(u, w);
+      parallel::fetch_add(&cover[u], int64_t{1});
+      parallel::fetch_add(&cover[w], int64_t{1});
+      parallel::fetch_add(&cover[a], int64_t{-2});
+    }
+  });
+
+  // Subtree sums, deepest level first: every vertex folds its total into
+  // its parent once its own level is done, so by the time a level runs all
+  // of its children's contributions have landed.
+  for (size_t d = level_starts_.size() - 1; d-- > 1;) {
+    const size_t lo = level_starts_[d];
+    const size_t hi = level_starts_[d + 1];
+    parallel_for(lo, hi, [&](size_t i) {
+      const vertex_id v = by_depth_[i];
+      parallel::fetch_add(&cover[parent_[v]], cover[v]);
+    });
+  }
+
+  for (size_t j = 0; j < f; ++j) {
+    if (cover[edge_child_[j]] == 0) out.push_back(forest_[j]);
+  }
+  return out;
+}
+
+std::vector<vertex_id> forest_index::k_largest(size_t k) const {
+  const size_t nc = comp_.num_components();
+  std::vector<vertex_id> ids(nc);
+  for (size_t c = 0; c < nc; ++c) ids[c] = static_cast<vertex_id>(c);
+  k = std::min(k, nc);
+  const auto by_size_desc = [&](vertex_id a, vertex_id b) {
+    const size_t sa = comp_.size(a);
+    const size_t sb = comp_.size(b);
+    return sa != sb ? sa > sb : a < b;
+  };
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(), by_size_desc);
+  ids.resize(k);
+  return ids;
+}
+
+}  // namespace pcc::cc

@@ -40,11 +40,31 @@ void run_decomp(const graph::graph& g, const cc_options& opt,
   o.beta = opt.beta;
   o.shifts = opt.shifts;
   o.dedup = opt.dedup;
+  o.dedup_route = opt.dedup_route;
   o.seed = opt.seed;
   o.dense_threshold = opt.dense_threshold;
   o.parallel_edge_threshold = opt.parallel_edge_threshold;
   o.max_levels = opt.max_levels;
   copy_labels(ws.engine.run(g, o, stats), out);
+}
+
+// --- spanning-forest: the witness-carrying pipeline ---------------------
+// Labels AND a forest in one pass; the forest lands in ws.last_forest for
+// consumers that asked for it (pcc_components --forest, pcc_query) and is
+// free to ignore otherwise. Same fresh-options discipline as run_decomp.
+void run_spanning_forest(const graph::graph& g, const cc_options& opt,
+                         algo_workspace& ws, std::span<vertex_id> out,
+                         cc_stats* stats) {
+  cc_options o;
+  o.beta = opt.beta;
+  o.shifts = opt.shifts;
+  o.dedup = opt.dedup;
+  o.dedup_route = opt.dedup_route;
+  o.seed = opt.seed;
+  o.max_levels = opt.max_levels;
+  const sf_engine::result r = ws.sf.run(g, o, stats);
+  copy_labels(r.labels, out);
+  ws.last_forest = r.forest;
 }
 
 // --- Liu–Tarjan labeling variants, indexed into liu_tarjan_variants() ---
@@ -151,6 +171,17 @@ void run_reordered(const algorithm& algo, const graph::graph& g,
 
   parallel::timer map_timer;
   graph::map_labels_to_original(ws.staged_labels, ws.perm, ws.inv, out);
+  if (algo.produces_forest) {
+    // The forest's endpoints are relabeled ids; pull them back through inv
+    // into workspace storage (the engine's own forest describes rg, not g).
+    const std::span<const graph::edge> rf = ws.last_forest;
+    ws.forest_remap.resize(rf.size());
+    parallel::parallel_for(0, rf.size(), [&](size_t i) {
+      // lint: private-write(owner index i)
+      ws.forest_remap[i] = {ws.inv[rf[i].first], ws.inv[rf[i].second]};
+    });
+    ws.last_forest = {ws.forest_remap.data(), ws.forest_remap.size()};
+  }
   if (algo.canonical_labels) {
     // Restore the min-label form the descriptor promises: the relabeled
     // run's minima map back to the vertex with the smallest NEW id in each
@@ -215,8 +246,9 @@ std::vector<algorithm> build_table() {
   std::vector<algorithm> t;
   const auto add = [&](const char* name, const char* description,
                        bool canonical, bool seeded, bool ws_backed,
-                       decltype(algorithm::run) run) {
-    t.push_back({name, description, canonical, seeded, ws_backed, run});
+                       decltype(algorithm::run) run, bool forest = false) {
+    t.push_back({name, description, canonical, seeded, ws_backed, forest,
+                 run});
   };
   add("auto", "probe the graph, pick a registered algorithm (core/select)",
       false, true, true, &run_auto);
@@ -227,6 +259,9 @@ std::vector<algorithm> build_table() {
       false, true, true, &run_decomp<decomp_variant::kArb>);
   add("decomp-min", "decompose-contract, deterministic min-CC traversal",
       false, true, true, &run_decomp<decomp_variant::kMin>);
+  add("spanning-forest",
+      "witness-carrying decompose-contract: labels + spanning forest",
+      false, true, true, &run_spanning_forest, /*forest=*/true);
   add("serial-sf", "sequential union-find spanning forest (PBBS baseline)",
       false, false, false, &run_serial_sf);
   add("serial-sf-rem", "sequential Rem's splicing union-find (Patwary et al.)",
@@ -317,6 +352,7 @@ void run_algorithm(const algorithm& algo, const graph::graph& g,
                    const cc_options& opt, algo_workspace& ws,
                    std::span<vertex_id> labels_out, cc_stats* stats) {
   assert(labels_out.size() == g.num_vertices());
+  ws.last_forest = {};  // stale forests must not outlive their query
   if (stats != nullptr) {
     stats->algorithm = algo.name;
     stats->reorder = "none";  // reused stats must not keep a stale mode

@@ -26,19 +26,28 @@
 #include "baselines/bfs.hpp"
 #include "core/cc_engine.hpp"
 #include "core/connectivity.hpp"
+#include "core/sf_engine.hpp"
 #include "graph/graph.hpp"
 #include "parallel/arena.hpp"
 
 namespace pcc::cc {
 
 // Reusable execution state shared by every registered algorithm: one
-// engine for the decomp-* family, BFS scratch for the hybrid sweeps, and
-// a workspace arena for everything else (labeling edge buffers, union-find
-// locks, the selector's probe).
+// engine for the decomp-* family, one for the spanning-forest pipeline,
+// BFS scratch for the hybrid sweeps, and a workspace arena for everything
+// else (labeling edge buffers, union-find locks, the selector's probe).
 struct algo_workspace {
   cc_engine engine;
+  sf_engine sf;
   baselines::bfs_scratch bfs;
   parallel::workspace scratch;
+
+  // Forest produced by the most recent run_algorithm() call, when the
+  // algorithm has produces_forest set (empty otherwise — cleared at the
+  // start of every run). Points into sf's storage, or into forest_remap
+  // when the reorder wrapper mapped endpoints back to original ids.
+  std::span<const graph::edge> last_forest;
+  std::vector<graph::edge> forest_remap;
 
   // Locality-relabeling state for the reorder wrapper (a pinned
   // cc_options::reorder, or "auto" when select_reorder fires): the
@@ -66,6 +75,10 @@ struct algorithm {
   bool canonical_labels;
   bool uses_seed;         // consumes opt.seed
   bool workspace_backed;  // allocation-free through algo_workspace after warm-up
+  // Also publishes a spanning forest into algo_workspace::last_forest;
+  // run_reordered maps its endpoints back to original ids alongside the
+  // labels, so --reorder works uniformly for forest producers.
+  bool produces_forest;
   void (*run)(const graph::graph& g, const cc_options& opt,
               algo_workspace& ws, std::span<vertex_id> labels_out,
               cc_stats* stats);

@@ -1,290 +1,17 @@
-// Witness-carrying variant of the decompose-contract pipeline (see
-// spanning_forest.hpp). Self-contained: it mirrors decomp_arb and contract
-// but threads a per-edge witness (an original-graph edge) through both, so
-// the main connectivity path stays lean.
+// One-shot wrapper over the workspace-backed spanning-forest engine (see
+// core/sf_engine.cpp for the pipeline itself).
 
 #include "core/spanning_forest.hpp"
 
-#include <cassert>
-
-#include "baselines/union_find.hpp"
-#include "core/ldd.hpp"
-#include "core/ldd_internal.hpp"
-#include "parallel/arena.hpp"
-#include "parallel/atomics.hpp"
-#include "parallel/emit.hpp"
-#include "parallel/hash_map.hpp"
-#include "parallel/integer_sort.hpp"
-#include "parallel/scheduler.hpp"
-#include "parallel/sequence.hpp"
+#include "core/sf_engine.hpp"
 
 namespace pcc::cc {
 
-namespace {
-
-using parallel::atomic_load;
-using parallel::cas;
-using parallel::parallel_for;
-
-inline uint64_t pack_witness(graph::edge e) {
-  return (static_cast<uint64_t>(e.first) << 32) | e.second;
-}
-inline graph::edge unpack_witness(uint64_t w) {
-  return {static_cast<vertex_id>(w >> 32), static_cast<vertex_id>(w)};
-}
-
-// A level graph: CSR plus, for every directed edge slot, the original edge
-// that realizes it.
-struct witness_graph {
-  size_t n = 0;
-  std::vector<edge_id> offsets;    // size n+1
-  std::vector<vertex_id> targets;  // mutable (compacted by the decomp)
-  std::vector<uint64_t> witness;   // parallel to targets
-  std::vector<vertex_id> degrees;  // live prefix of each adjacency
-};
-
-witness_graph level0(const graph::graph& g) {
-  witness_graph wg;
-  wg.n = g.num_vertices();
-  wg.offsets = g.offsets();
-  wg.targets = g.edges();
-  wg.witness.resize(g.num_edges());
-  wg.degrees.resize(wg.n);
-  parallel_for(0, wg.n, [&](size_t v) {
-    wg.degrees[v] = g.degree(static_cast<vertex_id>(v));
-    const edge_id start = wg.offsets[v];
-    for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
-      // lint: private-write(v owns its CSR slice [start, start+deg))
-      wg.witness[start + i] = pack_witness(
-          {static_cast<vertex_id>(v), wg.targets[start + i]});
-    }
-  });
-  return wg;
-}
-
-// A claim made during one BFS round: the claimed vertex (joins the next
-// frontier) and the witness of the claiming edge (joins the forest).
-struct claim_rec {
-  vertex_id w;
-  uint64_t witness;
-};
-
-// Decomp-Arb over a witness graph. Claim edges contribute their witnesses
-// to `forest`; kept inter-cluster edges are compacted in place (targets
-// relabeled to cluster ids, witnesses carried). Rounds are edge-balanced
-// via frontier_edge_for: claims are emitted contention-free in flattened
-// edge order, and a hub's adjacency is compacted piece-wise.
-ldd::result decomp_arb_sf(witness_graph& wg, const ldd::options& opt,
-                          std::vector<uint64_t>& forest) {
-  const size_t n = wg.n;
-  ldd::result res;
-  res.cluster.assign(n, kNoVertex);
-  if (n == 0) return res;
-  std::vector<vertex_id>& C = res.cluster;
-
-  parallel::workspace ws;
-  ldd::internal::shift_schedule schedule(n, opt, ws);
-  std::span<vertex_id> frontier = ws.take<vertex_id>(n);
-  std::span<vertex_id> next = ws.take<vertex_id>(n);
-  // Claim records: at most n claims happen in one decomposition (each
-  // vertex is claimed once).
-  std::span<claim_rec> claims = ws.take<claim_rec>(n);
-  size_t frontier_size = 0;
-
-  size_t num_visited = 0;
-  size_t round = 0;
-  while (num_visited < n) {
-    const size_t added = ldd::internal::add_new_centers(
-        schedule, round, frontier, frontier_size, ws,
-        [&](vertex_id v) { return C[v] == kNoVertex; },
-        [&](vertex_id v) { C[v] = v; });
-    res.num_clusters += added;
-    frontier_size += added;
-    num_visited += frontier_size;
-
-    size_t next_size = 0;
-    {
-      parallel::workspace::scope round_scope(ws);
-      const parallel::frontier_result run =
-          parallel::frontier_edge_for<claim_rec>(
-              frontier_size,
-              [&](size_t fi) { return wg.degrees[frontier[fi]]; }, claims, ws,
-              [&](size_t fi, uint32_t jlo, uint32_t jhi, uint32_t deg,
-                  parallel::emitter<claim_rec>& em) -> uint32_t {
-                const vertex_id v = frontier[fi];
-                const vertex_id my_label = C[v];
-                const edge_id start = wg.offsets[v];
-                uint32_t k = jlo;
-                for (uint32_t i = jlo; i < jhi; ++i) {
-                  const vertex_id w = wg.targets[start + i];
-                  if (atomic_load(&C[w]) == kNoVertex &&
-                      cas(&C[w], kNoVertex, my_label)) {
-                    // Claim edge: a BFS-tree edge of this cluster. Its
-                    // witness is an original edge and joins the forest.
-                    em({w, wg.witness[start + i]});
-                  } else {
-                    const vertex_id w_label = atomic_load(&C[w]);
-                    if (w_label != my_label) {
-                      // lint: private-write(piece owns slots [jlo, jhi) of v)
-                      wg.targets[start + k] = w_label;
-                      // lint: private-write(same piece-subrange invariant)
-                      wg.witness[start + k] = wg.witness[start + i];
-                      ++k;
-                    }
-                  }
-                }
-                if (jlo == 0 && jhi == deg) {
-                  // lint: private-write(whole-vertex piece: sole writer)
-                  wg.degrees[v] = k;
-                }
-                return k - jlo;
-              });
-      parallel::fix_split_pieces(
-          run.partials,
-          [&](uint32_t fi, uint32_t dst, uint32_t src, uint32_t len) {
-            const edge_id start = wg.offsets[frontier[fi]];
-            // lint: private-write(leader task owns entry fi's CSR slice)
-            std::copy(wg.targets.begin() + start + src,
-                      wg.targets.begin() + start + src + len,
-                      wg.targets.begin() + start + dst);
-            // lint: private-write(same leader-owned slice, witness array)
-            std::copy(wg.witness.begin() + start + src,
-                      wg.witness.begin() + start + src + len,
-                      wg.witness.begin() + start + dst);
-          },
-          [&](uint32_t fi, uint32_t kept) {
-            // lint: private-write(one leader task per split vertex)
-            wg.degrees[frontier[fi]] = kept;
-          });
-      next_size = run.emitted;
-    }
-    const size_t forest_base = forest.size();
-    forest.resize(forest_base + next_size);
-    parallel_for(0, next_size, [&](size_t i) {
-      // lint: private-write(iteration i owns slot i of both outputs)
-      next[i] = claims[i].w;
-      // lint: private-write(iteration i owns slot forest_base + i)
-      forest[forest_base + i] = claims[i].witness;
-    });
-    std::swap(frontier, next);
-    frontier_size = next_size;
-    ++round;
-  }
-  res.num_rounds = round;
-  res.edges_kept = parallel::reduce_sum<size_t>(
-      n, [&](size_t v) { return wg.degrees[v]; });
-  return res;
-}
-
-}  // namespace
-
 std::vector<graph::edge> spanning_forest(const graph::graph& g,
-                                         const sf_options& opt) {
-  witness_graph wg = level0(g);
-  std::vector<uint64_t> forest;
-  forest.reserve(g.num_vertices());
-
-  for (size_t level = 0; wg.n > 0; ++level) {
-    ldd::options dopt;
-    dopt.beta = opt.beta;
-    dopt.seed = parallel::hash64(opt.seed + 0x51ab * (level + 1));
-    if (level >= opt.max_levels) {
-      // Safety net (mirrors connected_components): finish sequentially.
-      baselines::union_find uf(wg.n);
-      for (size_t v = 0; v < wg.n; ++v) {
-        const edge_id start = wg.offsets[v];
-        for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
-          if (uf.unite(static_cast<vertex_id>(v), wg.targets[start + i])) {
-            forest.push_back(wg.witness[start + i]);
-          }
-        }
-      }
-      break;
-    }
-
-    const ldd::result dec = decomp_arb_sf(wg, dopt, forest);
-    if (dec.edges_kept == 0) break;
-
-    // Contract with witnesses: one surviving (src, tgt) cluster pair keeps
-    // one witness (any edge realizing the pair is a valid forest edge).
-    // Concurrent same-value stores via write_once (relaxed atomics), so the
-    // benign race is declared to the memory model.
-    std::vector<uint8_t> has_edge(wg.n, 0);
-    parallel_for(0, wg.n, [&](size_t v) {
-      if (wg.degrees[v] > 0) {
-        parallel::write_once(&has_edge[dec.cluster[v]], uint8_t{1});
-      }
-      const edge_id start = wg.offsets[v];
-      for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
-        parallel::write_once(&has_edge[wg.targets[start + i]], uint8_t{1});
-      }
-    });
-    std::vector<size_t> center_rank;
-    const size_t k = parallel::scan_exclusive_into(
-        wg.n,
-        [&](size_t c) {
-          return (dec.cluster[c] == c && has_edge[c]) ? size_t{1} : size_t{0};
-        },
-        center_rank);
-    std::vector<vertex_id> new_id(wg.n, kNoVertex);
-    parallel_for(0, wg.n, [&](size_t c) {
-      if (dec.cluster[c] == c && has_edge[c]) {
-        new_id[c] = static_cast<vertex_id>(center_rank[c]);
-      }
-    });
-
-    // Dedup (src, tgt) pairs, keeping a witness each.
-    parallel::hash_map64 dedup(dec.edges_kept);
-    parallel_for(0, wg.n, [&](size_t v) {
-      const vertex_id src = new_id[dec.cluster[v]];
-      const edge_id start = wg.offsets[v];
-      for (vertex_id i = 0; i < wg.degrees[v]; ++i) {
-        const vertex_id tgt = new_id[wg.targets[start + i]];
-        dedup.insert((static_cast<uint64_t>(src) << 32) | tgt,
-                     wg.witness[start + i]);
-      }
-    });
-    auto pairs = dedup.elements();
-
-    // Sort by (src, tgt) and rebuild the next witness_graph.
-    const int b = parallel::bits_needed(k == 0 ? 1 : k);
-    const uint64_t tmask = b >= 32 ? ~uint32_t{0} : (uint64_t{1} << b) - 1;
-    parallel::integer_sort(pairs, 2 * b, [b, tmask](const auto& p) {
-      return ((p.first >> 32) << b) | (p.first & tmask);
-    });
-
-    witness_graph next;
-    next.n = k;
-    next.offsets.resize(k + 1);
-    next.targets.resize(pairs.size());
-    next.witness.resize(pairs.size());
-    next.degrees.resize(k);
-    parallel_for(0, pairs.size(), [&](size_t i) {
-      // lint: private-write(iteration i owns slot i of both arrays)
-      next.targets[i] = static_cast<vertex_id>(pairs[i].first);
-      next.witness[i] = pairs[i].second;
-    });
-    // The pairs are sorted by (src, tgt), so each vertex's CSR offset is a
-    // binary search for its first pair — no shared degree counters.
-    parallel_for(0, k + 1, [&](size_t v) {
-      const auto it = std::lower_bound(
-          pairs.begin(), pairs.end(), v,
-          [](const auto& p, size_t vv) { return (p.first >> 32) < vv; });
-      // lint: private-write(iteration v owns slot v)
-      next.offsets[v] = static_cast<edge_id>(it - pairs.begin());
-    });
-    parallel_for(0, k, [&](size_t v) {
-      // lint: private-write(iteration v owns slot v)
-      next.degrees[v] =
-          static_cast<vertex_id>(next.offsets[v + 1] - next.offsets[v]);
-    });
-    wg = std::move(next);
-  }
-
-  std::vector<graph::edge> out(forest.size());
-  parallel_for(0, forest.size(),
-               [&](size_t i) { out[i] = unpack_witness(forest[i]); });
-  return out;
+                                         const cc_options& opt) {
+  sf_engine engine(opt);
+  const sf_engine::result r = engine.run(g);
+  return std::vector<graph::edge>(r.forest.begin(), r.forest.end());
 }
 
 }  // namespace pcc::cc

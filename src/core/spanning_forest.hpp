@@ -11,24 +11,26 @@
 // (cluster BFS trees + pulled-back recursive forest) is a spanning forest:
 // per level it adds n_l - (#clusters_l) + F(G_l+1) edges, telescoping to
 // n - #components.
+//
+// This is the one-shot convenience wrapper; the workspace-backed engine
+// behind it is core/sf_engine.hpp (repeated queries, labels + forest in
+// one pass, registry integration). Options are plain cc_options, so
+// --beta/--seed/--shifts/--dedup-route mean the same thing they mean for
+// connectivity; opt.variant is ignored (the SF decomposition is always the
+// claim-based one).
 #pragma once
 
-#include <cstdint>
 #include <vector>
 
+#include "core/connectivity.hpp"
 #include "graph/graph.hpp"
 
 namespace pcc::cc {
 
-struct sf_options {
-  double beta = 0.2;
-  uint64_t seed = 42;
-  size_t max_levels = 128;
-};
-
 // Returns the edges of a spanning forest of g, as (u, v) pairs of original
-// vertex ids; exactly n - (#components) edges.
+// vertex ids; exactly n - (#components) edges, deterministic across worker
+// counts and scheduler backends for fixed options.
 std::vector<graph::edge> spanning_forest(const graph::graph& g,
-                                         const sf_options& opt = {});
+                                         const cc_options& opt = {});
 
 }  // namespace pcc::cc

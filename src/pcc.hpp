@@ -16,10 +16,12 @@
 #include "core/component_index.hpp"
 #include "core/connectivity.hpp"
 #include "core/contract.hpp"
+#include "core/forest_index.hpp"
 #include "core/labeling.hpp"
 #include "core/registry.hpp"
 #include "core/select.hpp"
 #include "core/ldd.hpp"
+#include "core/sf_engine.hpp"
 #include "core/spanning_forest.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"

@@ -1,0 +1,431 @@
+// sf_engine: the workspace-backed labels+forest executor behind
+// spanning_forest.
+//
+//   (1) run() agrees with the one-shot API and with connectivity
+//       (forest valid, labels the same partition as the oracle);
+//   (2) the forest and the labels are bit-identical across worker counts
+//       and scheduler backends (the two-phase claim protocol's whole
+//       point), and stable across repeated runs of a warm engine;
+//   (3) after warm-up, run() converges to zero heap allocation (global
+//       operator-new hook, same discipline as test_cc_engine.cpp);
+//   (4) through the registry, the reorder wrapper maps the forest back to
+//       original vertex ids for every policy on a skew-heavy corpus.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/sf_engine.hpp"
+#include "core/spanning_forest.hpp"
+#include "test_helpers.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting hook (see test_cc_engine.cpp for the rationale and
+// the ASan caveat — the Release CI job is the one that enforces the
+// zero-allocation assertions).
+#if defined(__SANITIZE_ADDRESS__)
+#define PCC_NO_ALLOC_HOOK 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PCC_NO_ALLOC_HOOK 1
+#endif
+#endif
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<size_t> g_alloc_count{0};
+
+#ifndef PCC_NO_ALLOC_HOOK
+inline void note_alloc() {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* counted_alloc(size_t size) {
+  note_alloc();
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(size_t size, size_t align) {
+  note_alloc();
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+#endif  // PCC_NO_ALLOC_HOOK
+
+}  // namespace
+
+#ifndef PCC_NO_ALLOC_HOOK
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // PCC_NO_ALLOC_HOOK
+// ---------------------------------------------------------------------------
+
+namespace pcc {
+namespace {
+
+using baselines::union_find;
+using cc::cc_options;
+using cc::sf_engine;
+
+// Full validation of a claimed spanning forest of g (span flavour of the
+// helper in test_spanning_forest.cpp).
+void expect_valid_forest(const graph::graph& g,
+                         std::span<const graph::edge> forest) {
+  const size_t n = g.num_vertices();
+  const auto ref = graph::reference_components(g);
+  size_t num_components = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (ref[v] == v) ++num_components;
+  }
+  ASSERT_EQ(forest.size(), n - num_components);
+
+  std::set<std::pair<vertex_id, vertex_id>> edge_set;
+  for (size_t u = 0; u < n; ++u) {
+    for (vertex_id w : g.neighbors(static_cast<vertex_id>(u))) {
+      edge_set.insert({static_cast<vertex_id>(u), w});
+    }
+  }
+  union_find uf(n);
+  for (const auto& [u, w] : forest) {
+    ASSERT_TRUE(edge_set.contains({u, w}))
+        << "(" << u << "," << w << ") is not a graph edge";
+    ASSERT_TRUE(uf.unite(u, w)) << "cycle through (" << u << "," << w << ")";
+  }
+  for (size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(uf.find(static_cast<vertex_id>(v)), uf.find(ref[v]))
+        << "forest does not span component of vertex " << v;
+  }
+}
+
+// Same partition: identical equivalence classes, labels may differ.
+void expect_same_partition(std::span<const vertex_id> a,
+                           std::span<const vertex_id> b,
+                           const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  std::map<vertex_id, vertex_id> a2b, b2a;
+  for (size_t v = 0; v < a.size(); ++v) {
+    const auto ia = a2b.insert({a[v], b[v]});
+    ASSERT_EQ(ia.first->second, b[v]) << what << " vertex " << v;
+    const auto ib = b2a.insert({b[v], a[v]});
+    ASSERT_EQ(ib.first->second, a[v]) << what << " vertex " << v;
+  }
+}
+
+TEST(SfEngine, MatchesOneShotExactly) {
+  // The one-shot API is a thin wrapper over a fresh engine, and the
+  // pipeline is deterministic — so a reused engine must reproduce the
+  // one-shot forest edge for edge, run after run.
+  const graph::graph g = graph::rmat_graph(4096, 16000, 17);
+  cc_options opt;
+  opt.seed = 99;
+  const std::vector<graph::edge> oneshot = cc::spanning_forest(g, opt);
+  sf_engine engine(opt);
+  for (int rep = 0; rep < 3; ++rep) {
+    const sf_engine::result r = engine.run(g);
+    ASSERT_EQ(r.forest.size(), oneshot.size()) << "rep " << rep;
+    for (size_t i = 0; i < oneshot.size(); ++i) {
+      ASSERT_EQ(r.forest[i], oneshot[i]) << "rep " << rep << " edge " << i;
+    }
+  }
+}
+
+TEST(SfEngine, ValidOnCorpusBothBackends) {
+  for (auto b : {parallel::backend::kOpenMP, parallel::backend::kThreadPool}) {
+    parallel::scoped_backend guard(b);
+    sf_engine engine;
+    for (const auto& gc : pcc::testing::correctness_corpus()) {
+      const graph::graph g = gc.make();
+      const sf_engine::result r = engine.run(g);
+      ASSERT_EQ(r.labels.size(), g.num_vertices()) << gc.name;
+      expect_valid_forest(g, r.forest);
+      if (g.num_vertices() == 0) continue;
+      const std::vector<vertex_id> copy(r.labels.begin(), r.labels.end());
+      EXPECT_TRUE(baselines::is_valid_components_labeling(g, copy)) << gc.name;
+      EXPECT_TRUE(baselines::labels_are_representatives(copy)) << gc.name;
+      // Labels and forest tell the same connectivity story.
+      EXPECT_EQ(r.forest.size(), g.num_vertices() - cc::num_components(copy))
+          << gc.name;
+    }
+  }
+}
+
+TEST(SfEngine, ForestAndLabelsIdenticalAcrossWorkersAndBackends) {
+  // The determinism contract: forest AND labels are a pure function of
+  // (graph, options) — bit-identical across worker counts and scheduler
+  // backends. This is what the two-phase claim resolution buys; a CAS
+  // free-for-all would pass every validity check above and still fail
+  // here.
+  const struct {
+    const char* name;
+    graph::graph g;
+  } cases[] = {
+      {"rmat", graph::rmat_graph(8192, 40000, 29)},
+      {"random_multi", graph::random_graph(8000, 2, 5)},
+      {"grid3d", graph::grid3d_graph(4096, true, 5)},
+  };
+  cc_options opt;
+  opt.seed = 12345;
+  for (const auto& c : cases) {
+    // Baseline: one worker, OpenMP.
+    std::vector<graph::edge> base_forest;
+    std::vector<vertex_id> base_labels;
+    {
+      parallel::scoped_workers one(1);
+      sf_engine engine(opt);
+      const sf_engine::result r = engine.run(c.g);
+      base_forest.assign(r.forest.begin(), r.forest.end());
+      base_labels.assign(r.labels.begin(), r.labels.end());
+    }
+    for (auto b :
+         {parallel::backend::kOpenMP, parallel::backend::kThreadPool}) {
+      parallel::scoped_backend guard(b);
+      for (int workers : {1, 2, 3, 4, 8}) {
+        parallel::scoped_workers w(workers);
+        sf_engine engine(opt);
+        const sf_engine::result r = engine.run(c.g);
+        const std::string what =
+            std::string(c.name) + " workers=" + std::to_string(workers) +
+            " backend=" +
+            (b == parallel::backend::kThreadPool ? "pool" : "openmp");
+        ASSERT_EQ(r.forest.size(), base_forest.size()) << what;
+        for (size_t i = 0; i < base_forest.size(); ++i) {
+          ASSERT_EQ(r.forest[i], base_forest[i]) << what << " edge " << i;
+        }
+        ASSERT_EQ(r.labels.size(), base_labels.size()) << what;
+        for (size_t v = 0; v < base_labels.size(); ++v) {
+          ASSERT_EQ(r.labels[v], base_labels[v]) << what << " vertex " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(SfEngine, PerRunOptionsOverrideConstructorOptions) {
+  const graph::graph g = graph::random_graph(5000, 4, 3);
+  sf_engine engine;  // defaults
+  for (double beta : {0.05, 0.5}) {
+    for (uint64_t seed : {7u, 8u}) {
+      cc_options opt;
+      opt.beta = beta;
+      opt.seed = seed;
+      const sf_engine::result r = engine.run(g, opt);
+      expect_valid_forest(g, r.forest);
+      // Must match a one-shot with the same knobs.
+      const auto oneshot = cc::spanning_forest(g, opt);
+      ASSERT_EQ(r.forest.size(), oneshot.size());
+      for (size_t i = 0; i < oneshot.size(); ++i) {
+        ASSERT_EQ(r.forest[i], oneshot[i])
+            << "beta=" << beta << " seed=" << seed << " edge " << i;
+      }
+    }
+  }
+}
+
+TEST(SfEngine, ReusableAcrossDifferentGraphs) {
+  sf_engine engine;
+  std::vector<pcc::testing::graph_case> probes = {
+      {"cycle", [] { return graph::cycle_graph(1000); }},
+      {"mixture",
+       [] {
+         std::vector<graph::graph> parts;
+         parts.push_back(graph::cycle_graph(50));
+         parts.push_back(graph::star_graph(40));
+         parts.push_back(graph::empty_graph(30));
+         return graph::disjoint_union(parts);
+       }},
+      {"random30k", [] { return graph::random_graph(30000, 8, 3); }},
+      {"tiny", [] { return graph::empty_graph(5); }},
+      {"grid", [] { return graph::grid3d_graph(8000, true, 5); }},
+  };
+  for (const auto& p : probes) {
+    const graph::graph g = p.make();
+    const sf_engine::result r = engine.run(g);
+    expect_valid_forest(g, r.forest);
+    // last_forest() mirrors the span the result carries.
+    ASSERT_EQ(engine.last_forest().size(), r.forest.size()) << p.name;
+  }
+}
+
+TEST(SfEngine, EmptyAndTrivialInputs) {
+  sf_engine engine;
+  EXPECT_TRUE(engine.run(graph::empty_graph(0)).forest.empty());
+  EXPECT_TRUE(engine.run(graph::empty_graph(0)).labels.empty());
+  const auto one = engine.run(graph::empty_graph(1));
+  EXPECT_TRUE(one.forest.empty());
+  ASSERT_EQ(one.labels.size(), 1u);
+  EXPECT_EQ(one.labels[0], 0u);
+  const auto iso = engine.run(graph::empty_graph(64));
+  EXPECT_TRUE(iso.forest.empty());
+  for (size_t v = 0; v < 64; ++v) EXPECT_EQ(iso.labels[v], v);
+}
+
+TEST(SfEngine, HotPathRunIsAllocationFree) {
+  // Same convergence discipline as CcEngine.HotPathRunIsAllocationFree:
+  // run 1 grows the arenas, run 2 consolidates them, and after that the
+  // engine must reach an allocation-free run within a few attempts (the
+  // forest pipeline is deterministic, so in practice the third run is
+  // already clean — the retry loop only absorbs backend-side lazies like
+  // thread-pool bootstrap).
+  for (auto b : {parallel::backend::kOpenMP, parallel::backend::kThreadPool}) {
+    parallel::scoped_backend guard(b);
+    const graph::graph g = graph::random_graph(20000, 5, 7);
+    sf_engine engine;
+    engine.run(g);  // warm-up: arenas chain chunks as needed
+    engine.run(g);  // warm-up: reset() consolidates to high-water mark
+
+    bool saw_clean_run = false;
+    sf_engine::result r;
+    for (int attempt = 0; attempt < 10 && !saw_clean_run; ++attempt) {
+      g_alloc_count.store(0, std::memory_order_relaxed);
+      g_count_allocs.store(true, std::memory_order_relaxed);
+      r = engine.run(g);
+      g_count_allocs.store(false, std::memory_order_relaxed);
+      saw_clean_run = g_alloc_count.load(std::memory_order_relaxed) == 0;
+    }
+
+    EXPECT_TRUE(saw_clean_run)
+        << "no allocation-free run in 10 attempts; backend "
+        << (b == parallel::backend::kOpenMP ? "omp" : "pool");
+    expect_valid_forest(g, r.forest);
+  }
+}
+
+TEST(SfEngine, ReserveFrontLoadsAllocation) {
+  const graph::graph g = graph::rmat_graph(8192, 40000, 11);
+  sf_engine engine;
+  engine.reserve(g.num_vertices(), g.num_edges());
+  engine.run(g);
+  engine.run(g);
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  engine.run(g);
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The registry + reorder surface: "spanning-forest" runs through
+// run_algorithm, and the reorder wrapper maps the forest's endpoints back
+// to original vertex ids for every policy. The forest may legitimately
+// DIFFER across policies (the decomposition sees a different id layout, so
+// it picks different tree edges) — what must hold is that each one is a
+// valid spanning forest of the ORIGINAL graph and describes the same
+// component partition.
+
+constexpr cc::reorder_policy kFixedPolicies[] = {
+    cc::reorder_policy::kNone, cc::reorder_policy::kDegree,
+    cc::reorder_policy::kHub, cc::reorder_policy::kBfs};
+
+std::vector<testing::graph_case> skew_corpus() {
+  using namespace pcc::graph;
+  return {
+      {"rmat_skew",
+       [] {
+         return rmat_graph(8192, 60000, 29, {.a = 0.5, .b = 0.1, .c = 0.1});
+       }},
+      {"path5000", [] { return line_graph(5000); }},
+      {"star4000", [] { return star_graph(4000); }},
+      {"social", [] { return social_network_like(1200, 31); }},
+      {"mixture",
+       [] {
+         std::vector<pcc::graph::graph> parts;
+         parts.push_back(star_graph(500));
+         parts.push_back(line_graph(400));
+         parts.push_back(rmat_graph(1024, 6000, 37));
+         parts.push_back(empty_graph(50));
+         return disjoint_union(parts);
+       }},
+  };
+}
+
+class SfReorder : public ::testing::TestWithParam<testing::graph_case> {};
+
+TEST_P(SfReorder, ForestValidAcrossPoliciesAndBackends) {
+  const graph::graph g = GetParam().make();
+  const size_t n = g.num_vertices();
+  const cc::algorithm* algo = cc::find_algorithm("spanning-forest");
+  ASSERT_NE(algo, nullptr);
+  ASSERT_TRUE(algo->produces_forest);
+  cc::algo_workspace ws;
+
+  cc_options base_opt;
+  base_opt.reorder = cc::reorder_policy::kNone;
+  std::vector<vertex_id> baseline(n);
+  cc::run_algorithm(*algo, g, base_opt, ws, baseline);
+
+  for (const parallel::backend backend :
+       {parallel::backend::kOpenMP, parallel::backend::kThreadPool}) {
+    const parallel::scoped_backend bg(backend);
+    for (const cc::reorder_policy policy : kFixedPolicies) {
+      cc_options opt;
+      opt.reorder = policy;
+      std::vector<vertex_id> labels(n);
+      cc::run_algorithm(*algo, g, opt, ws, labels);
+      const std::string what =
+          std::string("policy=") + cc::reorder_policy_name(policy) +
+          " backend=" +
+          (backend == parallel::backend::kThreadPool ? "pool" : "openmp");
+      // The mapped-back forest is a spanning forest of the ORIGINAL graph.
+      expect_valid_forest(g, ws.last_forest);
+      expect_same_partition(labels, baseline, what);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewCorpus, SfReorder,
+                         ::testing::ValuesIn(skew_corpus()),
+                         testing::graph_case_name{});
+
+TEST(SfRegistry, NonForestAlgorithmsClearLastForest) {
+  const graph::graph g = graph::random_graph(2000, 4, 3);
+  cc::algo_workspace ws;
+  std::vector<vertex_id> labels(g.num_vertices());
+  const cc::algorithm* sf = cc::find_algorithm("spanning-forest");
+  ASSERT_NE(sf, nullptr);
+  cc::run_algorithm(*sf, g, {}, ws, labels);
+  EXPECT_FALSE(ws.last_forest.empty());
+
+  const cc::algorithm* plain = cc::find_algorithm("decomp-arb-hybrid");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_FALSE(plain->produces_forest);
+  cc::run_algorithm(*plain, g, {}, ws, labels);
+  EXPECT_TRUE(ws.last_forest.empty());
+}
+
+}  // namespace
+}  // namespace pcc

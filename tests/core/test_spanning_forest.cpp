@@ -13,7 +13,7 @@ namespace pcc {
 namespace {
 
 using baselines::union_find;
-using cc::sf_options;
+using cc::cc_options;
 using cc::spanning_forest;
 
 // Full validation of a claimed spanning forest of g.
@@ -63,7 +63,7 @@ INSTANTIATE_TEST_SUITE_P(Corpus, SpanningForestCorpus,
 TEST(SpanningForest, BetaSweep) {
   const graph::graph g = graph::random_graph(5000, 4, 3);
   for (double beta : {0.05, 0.2, 0.5, 0.9}) {
-    sf_options opt;
+    cc_options opt;
     opt.beta = beta;
     expect_valid_forest(g, spanning_forest(g, opt));
   }
@@ -72,7 +72,7 @@ TEST(SpanningForest, BetaSweep) {
 TEST(SpanningForest, SeedSweepOnMultiComponentGraph) {
   const graph::graph g = graph::random_graph(8000, 2, 5);  // many components
   for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
-    sf_options opt;
+    cc_options opt;
     opt.seed = seed;
     expect_valid_forest(g, spanning_forest(g, opt));
   }

@@ -67,7 +67,7 @@ TEST_P(OversubscribedWorkers, SpanningForestRepeated) {
   size_t comps = 0;
   for (size_t v = 0; v < ref.size(); ++v) comps += ref[v] == v ? 1 : 0;
   for (uint64_t seed = 1; seed <= 4; ++seed) {
-    cc::sf_options opt;
+    cc::cc_options opt;
     opt.seed = seed;
     const auto forest = cc::spanning_forest(g, opt);
     ASSERT_EQ(forest.size(), g.num_vertices() - comps);

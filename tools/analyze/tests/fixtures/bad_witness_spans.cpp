@@ -1,0 +1,37 @@
+// Positive fixtures for the shared-write check on witness spans: the
+// store shapes the spanning-forest pipeline must NOT use — claim-target
+// scatters into the witness array without the two-phase protocol, the
+// atomics vocabulary, or a stated invariant. Two frontier entries can
+// pick the same target, so every one of these is a lost-update race that
+// silently corrupts the forest.
+#include "prelude.hpp"
+
+// Stamping a witness by claim target: x[i] is not injective in i.
+void stamp_by_target(unsigned* wit, const unsigned* x) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    wit[x[i]] = static_cast<unsigned>(i);
+  });
+}
+
+// "Check then write" without a rank protocol: the comparison and the
+// store are not one atomic step, so two winners can interleave.
+void racy_claim(unsigned* wit, unsigned* C, const unsigned* x) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    const unsigned w = x[i];
+    if (C[w] == 0) {
+      C[w] = 1;
+      wit[w] = static_cast<unsigned>(i);
+    }
+  });
+}
+
+// The scatter hides one call level down in a witness-recording helper.
+static void record(unsigned* wit, unsigned long slot, unsigned v) {
+  wit[slot] = v;
+}
+
+void helper_scatter(unsigned* wit, const unsigned* x) {
+  parallel_for(0, 64, [&](unsigned long i) {
+    record(wit, x[i], static_cast<unsigned>(i));
+  });
+}

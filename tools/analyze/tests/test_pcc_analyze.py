@@ -73,6 +73,33 @@ class SharedWriteTests(unittest.TestCase):
                          msg="\n".join(f.message for f in findings))
 
 
+class WitnessSpanTests(unittest.TestCase):
+    """Witness-span discipline (src/core/sf_engine.cpp): a forest edge's
+    identity depends on WHICH claim wins, so witness stores must be
+    owner-indexed, atomic (the two-phase claim's write_min), or carry a
+    validated private-write invariant. The fixtures mirror the pipeline's
+    real store shapes."""
+
+    def test_positive_fixture(self):
+        findings = active(analyze("bad_witness_spans.cpp"))
+        self.assertEqual([f.check for f in findings], ["shared-write"] * 4)
+        # Raw stamp by target, check-then-write pair, one-deep helper —
+        # in file order.
+        self.assertIn("wit[x[i]] = static_cast<unsigned>(i);",
+                      line_text("bad_witness_spans.cpp", findings[0].line))
+        self.assertIn("C[w] = 1;",
+                      line_text("bad_witness_spans.cpp", findings[1].line))
+        self.assertIn("wit[w] = static_cast<unsigned>(i);",
+                      line_text("bad_witness_spans.cpp", findings[2].line))
+        self.assertIn("record(wit, x[i], static_cast<unsigned>(i));",
+                      line_text("bad_witness_spans.cpp", findings[3].line))
+
+    def test_negative_fixture(self):
+        findings = analyze("good_witness_spans.cpp")
+        self.assertEqual(findings, [],
+                         msg="\n".join(f.message for f in findings))
+
+
 class WorkerSlotTests(unittest.TestCase):
     """Per-worker-slot stores: a subscript that is exactly worker_id()
     (or a local holding it) pins the cell to one thread — the thread

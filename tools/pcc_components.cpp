@@ -211,10 +211,27 @@ int run(int argc, char** argv) {
 
   const std::string forest_out = args.get("forest", "");
   if (!forest_out.empty()) {
-    cc::sf_options sopt;
-    sopt.beta = beta;
-    sopt.seed = seed;
-    const auto forest = cc::spanning_forest(g, sopt);
+    // If the query algorithm already produced a forest (--algo
+    // spanning-forest), reuse it; otherwise answer with one run of the
+    // registered spanning-forest entry through the same workspace. Either
+    // way --beta/--seed/--backend/--threads apply uniformly.
+    std::span<const graph::edge> forest = ws.last_forest;
+    std::vector<graph::edge> mapped;
+    if (!algorithm->produces_forest) {
+      const cc::algorithm* sfa = cc::find_algorithm("spanning-forest");
+      std::vector<vertex_id> sf_labels(run_g->num_vertices());
+      cc::run_algorithm(*sfa, *run_g, opt, ws, sf_labels, nullptr);
+      forest = ws.last_forest;
+    }
+    if (pre_reordered) {
+      // The run used the relabeled CSR; endpoints pull back through inv.
+      mapped.resize(forest.size());
+      parallel::parallel_for(0, forest.size(), [&](size_t i) {
+        // lint: private-write(owner index i)
+        mapped[i] = {rr.inv[forest[i].first], rr.inv[forest[i].second]};
+      });
+      forest = mapped;
+    }
     std::ofstream f(forest_out);
     f << "# spanning forest: " << forest.size() << " edges\n";
     for (auto [u, w] : forest) f << u << '\t' << w << '\n';

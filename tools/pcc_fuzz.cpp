@@ -6,6 +6,7 @@
 //
 //   pcc_fuzz --trials 200 --max-n 5000 --seed 1
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -97,8 +98,9 @@ int main(int argc, char** argv) try {
       ++checks;
     }
 
-    // Spanning forest: size + acyclicity + spanning.
-    cc::sf_options sopt;
+    // Spanning forest: exact size, acyclicity, and every edge a real edge
+    // of the input graph (the witness pullback must never invent edges).
+    cc::cc_options sopt;
     sopt.seed = seed;
     const auto forest = cc::spanning_forest(g, sopt);
     size_t comps = 0;
@@ -112,6 +114,15 @@ int main(int argc, char** argv) try {
     for (auto [u, w] : forest) {
       if (!uf.unite(u, w)) {
         std::printf("FOREST CYCLE on %s n=%zu seed=%llu\n", kind_name(kind), n,
+                    static_cast<unsigned long long>(seed));
+        return 1;
+      }
+      const auto adj = g.neighbors(u);
+      if (std::find(adj.begin(), adj.end(), w) == adj.end()) {
+        std::printf("FOREST EDGE (%llu,%llu) NOT IN GRAPH on %s n=%zu "
+                    "seed=%llu\n",
+                    static_cast<unsigned long long>(u),
+                    static_cast<unsigned long long>(w), kind_name(kind), n,
                     static_cast<unsigned long long>(seed));
         return 1;
       }
